@@ -1,0 +1,13 @@
+"""Figures 8 & 9 reproduction: qualitative routing case studies."""
+
+from __future__ import annotations
+
+from repro.experiments.case_study import case_study_table
+
+
+def test_case_studies(benchmark, spider_context):
+    table = benchmark.pedantic(lambda: case_study_table(spider_context, num_cases=3),
+                               rounds=1, iterations=1)
+    print()
+    print(table.render())
+    assert table.rows

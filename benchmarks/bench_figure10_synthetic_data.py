@@ -1,0 +1,17 @@
+"""Figure 10 reproduction: routing recall vs synthetic-data volume."""
+
+from __future__ import annotations
+
+from repro.experiments.data_scaling import data_scaling_table
+
+
+def test_figure10_synthetic_data_scaling(benchmark, spider_context):
+    table = benchmark.pedantic(
+        lambda: data_scaling_table(spider_context, sample_sizes=(500, 1000, 2000)),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(table.render())
+    rows = table.to_records()
+    # Recall grows (or at least does not collapse) as more data is synthesized.
+    assert float(rows[-1]["db_R@1"]) >= float(rows[0]["db_R@1"]) - 5.0

@@ -1,0 +1,25 @@
+"""Figure 7 reproduction: mAP vs database size and recall@k curves."""
+
+from __future__ import annotations
+
+from repro.experiments.routing import map_by_database_size, recall_at_k_curve
+
+
+def test_figure7a_map_by_database_size(benchmark, spider_context):
+    table = benchmark.pedantic(lambda: map_by_database_size(spider_context),
+                               rounds=1, iterations=1)
+    print()
+    print(table.render())
+    assert any(record["method"] == "dbcopilot" for record in table.to_records())
+
+
+def test_figure7b_recall_at_k(benchmark, spider_context):
+    table = benchmark.pedantic(lambda: recall_at_k_curve(spider_context),
+                               rounds=1, iterations=1)
+    print()
+    print(table.render())
+    records = {record["method"]: record for record in table.to_records()}
+    # Recall@k is monotone in k for every method.
+    for record in records.values():
+        values = [float(record[key]) for key in record if key.startswith("R@")]
+        assert values == sorted(values)

@@ -1,0 +1,34 @@
+"""Table 2 reproduction: statistics of the adapted dataset collections."""
+
+from __future__ import annotations
+
+from repro.datasets import (
+    build_bird_like,
+    build_fiben_like,
+    build_spider_like,
+    dataset_statistics,
+    make_realistic_variant,
+    make_synonym_variant,
+)
+from repro.utils.tables import ResultTable
+
+
+def _build_statistics() -> ResultTable:
+    table = ResultTable(
+        title="Table 2: statistics of the (synthetic analogue) datasets",
+        columns=["dataset", "train", "test", "# DBs", "# tables", "# columns"],
+    )
+    spider = build_spider_like()
+    for dataset in (spider, build_bird_like(), build_fiben_like(),
+                    make_synonym_variant(spider), make_realistic_variant(spider)):
+        stats = dataset_statistics(dataset)
+        table.add_row(stats["dataset"], stats["train"], stats["test"],
+                      stats["databases"], stats["tables"], stats["columns"])
+    return table
+
+
+def test_table2_dataset_statistics(benchmark):
+    table = benchmark.pedantic(_build_statistics, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    assert len(table.rows) == 5

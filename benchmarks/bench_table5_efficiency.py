@@ -1,0 +1,14 @@
+"""Table 5 reproduction: routing efficiency and resource consumption."""
+
+from __future__ import annotations
+
+from repro.experiments.efficiency import efficiency_table
+
+
+def test_table5_efficiency(benchmark, spider_context):
+    table = benchmark.pedantic(lambda: efficiency_table(spider_context), rounds=1, iterations=1)
+    print()
+    print(table.render())
+    records = {record["method"]: record for record in table.to_records()}
+    # BM25 answers queries faster than the generative router, as in the paper.
+    assert float(records["bm25"]["QPS"]) > float(records["dbcopilot"]["QPS"])

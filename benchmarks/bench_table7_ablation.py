@@ -1,0 +1,17 @@
+"""Table 7 reproduction: ablation study of the router's components."""
+
+from __future__ import annotations
+
+from repro.experiments.ablation import ablation_table
+
+
+def test_table7_ablations(benchmark, spider_context):
+    table = benchmark.pedantic(lambda: ablation_table(spider_context), rounds=1, iterations=1)
+    print()
+    print(table.render())
+    records = {record["variant"]: record for record in table.to_records()}
+    full = float(records["DBCopilot (full)"]["db_R@1"])
+    original_only = float(records["w/ OD (original data only)"]["db_R@1"])
+    # Training on original data only collapses: generative retrieval cannot
+    # generalise to unseen schemata (paper Table 7).
+    assert original_only < full

@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+The experiment contexts (synthetic collections, baseline indexes, trained
+DBCopilot) are cached at module level inside :mod:`repro.experiments.context`,
+so running the full benchmark session builds each collection exactly once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import default_config, get_context
+
+
+@pytest.fixture(scope="session")
+def experiment_config():
+    return default_config()
+
+
+@pytest.fixture(scope="session")
+def spider_context(experiment_config):
+    return get_context("spider_like", experiment_config)
+
+
+@pytest.fixture(scope="session")
+def bird_context(experiment_config):
+    return get_context("bird_like", experiment_config)
+
+
+@pytest.fixture(scope="session")
+def fiben_context(experiment_config):
+    return get_context("fiben_like", experiment_config)

@@ -1,0 +1,63 @@
+"""Robustness to semantic mismatch: Spider-syn / Spider-real style evaluation.
+
+Non-expert users rarely phrase questions with the database's exact vocabulary.
+This example perturbs the test questions with synonym substitution and with
+column-mention removal and measures how each routing method degrades --
+reproducing the story of the paper's Table 4 (DBCopilot is the least affected
+because its router is trained on paraphrase-rich synthetic questions).
+
+Run with ``python examples/robustness_study.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core import DBCopilot, DBCopilotConfig, RouterConfig, SynthesisConfig
+from repro.datasets import build_spider_like, make_realistic_variant, make_synonym_variant
+from repro.retrieval import BM25Retriever, DenseRetriever, build_table_documents, evaluate_routing
+from repro.utils.tables import ResultTable
+
+
+def main() -> None:
+    dataset = build_spider_like()
+    variants = {
+        "regular": dataset.test_examples[:80],
+        "synonym (Spider-syn analogue)": make_synonym_variant(dataset).test_examples[:80],
+        "realistic (Spider-real analogue)": make_realistic_variant(dataset).test_examples[:80],
+    }
+
+    documents = build_table_documents(dataset.catalog)
+    bm25 = BM25Retriever()
+    bm25.index(documents)
+    dense = DenseRetriever()
+    dense.index(documents)
+
+    print("Training DBCopilot ...")
+    copilot = DBCopilot.build(
+        dataset.catalog, dataset.instances,
+        config=DBCopilotConfig(router=RouterConfig(epochs=10, beam_groups=5),
+                               synthesis=SynthesisConfig(num_samples=2500)),
+    )
+
+    methods = {"bm25": bm25.route, "dense": dense.route, "dbcopilot": copilot.predict}
+    table = ResultTable(title="Database recall@1 under semantic mismatch",
+                        columns=["variant"] + list(methods))
+    for variant_name, examples in variants.items():
+        row = [variant_name]
+        for predict in methods.values():
+            predictions = [predict(example.question) for example in examples]
+            scores = evaluate_routing(predictions, [e.database for e in examples],
+                                      [e.tables for e in examples])
+            row.append(round(100 * scores.database_recall[1], 2))
+        table.add_row(*row)
+    print()
+    print(table.render())
+
+    original = dataset.test_examples[0].question
+    perturbed = make_synonym_variant(dataset).test_examples[0].question
+    print("\nExample perturbation:")
+    print("  original :", original)
+    print("  synonym  :", perturbed)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Reproduction of DBCopilot (EDBT 2025).
+
+DBCopilot decouples schema-agnostic NL2SQL over massive databases into two
+stages: *schema routing* (a compact generative-retrieval "copilot" model that
+navigates a natural-language question to its target database and tables) and
+*SQL generation* (a large language model prompted with the routed schema).
+
+This package implements the full system described in the paper together with
+every substrate it depends on, from scratch:
+
+* :mod:`repro.schema` -- relational schema model (databases, tables, columns,
+  foreign keys, joinability detection).
+* :mod:`repro.engine` -- in-memory relational engine used to execute SQL and
+  compute execution accuracy.
+* :mod:`repro.sql` -- SQL AST, parser, executor, and metadata extraction.
+* :mod:`repro.datasets` -- synthetic Spider/BIRD/Fiben-style corpora and the
+  robustness variants (synonym substitution, explicit-mention removal).
+* :mod:`repro.nn` -- a compact numpy autograd + Seq2Seq substrate for the
+  differentiable search index (DSI) router.
+* :mod:`repro.retrieval` -- BM25, dense, CRUSH, and DTR routing baselines.
+* :mod:`repro.core` -- the DBCopilot contribution: schema graph, DFS
+  serialization, training-data synthesis, schema router, and graph-constrained
+  decoding.
+* :mod:`repro.llm` -- simulated LLM SQL generation with the paper's prompt
+  strategies and cost model.
+* :mod:`repro.experiments` -- harnesses that regenerate every table and figure
+  of the paper's evaluation section.
+
+Top-level names are imported lazily so that ``import repro`` stays cheap and
+sub-packages can be used independently.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__version__ = "1.0.0"
+
+#: Mapping of re-exported names to the module that defines them.
+_EXPORTS = {
+    "Catalog": "repro.schema",
+    "Column": "repro.schema",
+    "Database": "repro.schema",
+    "ForeignKey": "repro.schema",
+    "Table": "repro.schema",
+    "DBCopilot": "repro.core",
+    "DBCopilotConfig": "repro.core",
+    "SchemaGraph": "repro.core",
+    "SchemaRoute": "repro.core",
+    "SchemaRouter": "repro.core",
+}
+
+__all__ = ["__version__", *sorted(_EXPORTS)]
+
+
+def __getattr__(name: str) -> Any:
+    """Lazily resolve the re-exported public names."""
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

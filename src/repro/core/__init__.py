@@ -1,0 +1,58 @@
+"""DBCopilot core: the paper's primary contribution.
+
+The copilot model routes a natural-language question to its SQL query schema
+``S = <database, tables>`` over a massive catalog:
+
+* :mod:`repro.core.graph` -- schema graph construction (Algorithm 1).
+* :mod:`repro.core.serialization` -- DFS serialization of SQL query schemata
+  (Algorithm 2) and the basic (unordered) serialization used in ablations.
+* :mod:`repro.core.sampling` -- random-walk sampling of valid schemata.
+* :mod:`repro.core.questioner` -- reverse schema-to-question generation.
+* :mod:`repro.core.synthesis` -- training-data synthesis combining the two.
+* :mod:`repro.core.trie` / :mod:`repro.core.constrained` -- prefix-trie,
+  graph-based constrained decoding (§3.5).
+* :mod:`repro.core.router` -- the Seq2Seq DSI schema router.
+* :mod:`repro.core.dbcopilot` -- the end-to-end facade that builds the graph,
+  synthesizes data, trains the router, and routes questions.
+"""
+
+from repro.core.graph import NodeKind, SchemaGraph
+from repro.core.serialization import (
+    SerializedSchema,
+    basic_serialize,
+    dfs_serialize,
+    schema_to_tokens,
+    tokens_to_schema,
+)
+from repro.core.sampling import SchemaSampler, SamplerConfig
+from repro.core.questioner import NeuralQuestioner, SchemaQuestioner, TemplateQuestioner
+from repro.core.synthesis import SynthesisConfig, SyntheticExample, synthesize_training_data
+from repro.core.trie import PrefixTrie
+from repro.core.constrained import GraphConstrainedDecoding
+from repro.core.router import RouterConfig, SchemaRoute, SchemaRouter
+from repro.core.dbcopilot import DBCopilot, DBCopilotConfig
+
+__all__ = [
+    "NodeKind",
+    "SchemaGraph",
+    "SerializedSchema",
+    "basic_serialize",
+    "dfs_serialize",
+    "schema_to_tokens",
+    "tokens_to_schema",
+    "SchemaSampler",
+    "SamplerConfig",
+    "SchemaQuestioner",
+    "TemplateQuestioner",
+    "NeuralQuestioner",
+    "SynthesisConfig",
+    "SyntheticExample",
+    "synthesize_training_data",
+    "PrefixTrie",
+    "GraphConstrainedDecoding",
+    "RouterConfig",
+    "SchemaRoute",
+    "SchemaRouter",
+    "DBCopilot",
+    "DBCopilotConfig",
+]

@@ -1,0 +1,147 @@
+"""Graph-based constrained decoding (paper §3.5, Figure 4).
+
+At each autoregressive step the decoder may only emit tokens that extend the
+prefix towards a *valid* serialized schema:
+
+* the first element must spell the name of a database of the catalog;
+* subsequent elements must spell tables of that database; once at least one
+  table has been generated, the accessible tables are restricted to graph
+  neighbours of the already-generated tables (not arbitrary tables of the
+  database), mirroring how a SQL query's tables must be connected;
+* the element separator is only allowed when the current word prefix spells a
+  complete identifier, and EOS only after at least one complete table.
+
+The constraint is exposed as a callable compatible with
+:func:`repro.nn.decoding.diverse_beam_search`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.graph import SchemaGraph
+from repro.core.serialization import element_words
+from repro.core.trie import PrefixTrie
+from repro.nn.tokenizer import Vocabulary
+
+
+@dataclass
+class _DecodedState:
+    """The interpretation of a decoded prefix."""
+
+    database: str | None = None
+    tables: tuple[str, ...] = ()
+    current_words: tuple[int, ...] = ()
+    complete: bool = False  # True when the last token was a separator
+
+
+class GraphConstrainedDecoding:
+    """Builds the token-level constraint for a schema graph and vocabulary."""
+
+    def __init__(self, graph: SchemaGraph, vocabulary: Vocabulary,
+                 max_tables: int = 4) -> None:
+        self.graph = graph
+        self.vocabulary = vocabulary
+        self.max_tables = max_tables
+        self._database_trie = PrefixTrie()
+        for database in graph.databases():
+            self._database_trie.insert(self._word_ids(database), database)
+        # Per-database table tries are built lazily and cached.
+        self._table_tries: dict[str, PrefixTrie] = {}
+        self._table_word_ids: dict[tuple[str, str], tuple[int, ...]] = {}
+
+    # -- helpers --------------------------------------------------------------
+    def _word_ids(self, identifier: str) -> tuple[int, ...]:
+        return tuple(self.vocabulary.id_of(word) for word in element_words(identifier))
+
+    def _table_trie(self, database: str) -> PrefixTrie:
+        trie = self._table_tries.get(database)
+        if trie is None:
+            trie = PrefixTrie()
+            for table in self.graph.tables_of(database):
+                ids = self._word_ids(table)
+                trie.insert(ids, table)
+                self._table_word_ids[(database, table)] = ids
+            self._table_tries[database] = trie
+        return trie
+
+    def _restricted_trie(self, database: str, tables: tuple[str, ...]) -> PrefixTrie:
+        """Trie over the tables reachable from the already-decoded tables."""
+        self._table_trie(database)  # ensure word ids are cached
+        allowed: set[str] = set()
+        for table in tables:
+            for neighbor in self.graph.table_neighbors(database, table):
+                if neighbor not in tables:
+                    allowed.add(neighbor)
+        trie = PrefixTrie()
+        for table in sorted(allowed):
+            trie.insert(self._table_word_ids[(database, table)], table)
+        return trie
+
+    # -- prefix interpretation -----------------------------------------------------
+    def interpret(self, prefix: list[int] | tuple[int, ...]) -> _DecodedState:
+        """Parse the decoded prefix into (database, tables, current element)."""
+        separator = self.vocabulary.sep_id
+        state = _DecodedState(complete=True)
+        element: list[int] = []
+        for token in prefix:
+            if token == separator:
+                if not element:
+                    continue
+                state = self._commit_element(state, tuple(element))
+                element = []
+            else:
+                element.append(int(token))
+        if element:
+            state.current_words = tuple(element)
+            state.complete = False
+        else:
+            state.current_words = ()
+            state.complete = True
+        return state
+
+    def _commit_element(self, state: _DecodedState, words: tuple[int, ...]) -> _DecodedState:
+        if state.database is None:
+            matches = self._database_trie.identifiers_at(words)
+            database = matches[0] if matches else None
+            return _DecodedState(database=database, tables=(), complete=True)
+        matches = self._table_trie(state.database).identifiers_at(words)
+        if matches and matches[0] not in state.tables:
+            return _DecodedState(database=state.database,
+                                 tables=state.tables + (matches[0],), complete=True)
+        return _DecodedState(database=state.database, tables=state.tables, complete=True)
+
+    # -- the constraint callable ------------------------------------------------------
+    def allowed_tokens(self, prefix: list[int] | tuple[int, ...]) -> set[int] | None:
+        """Token ids allowed after ``prefix`` (the Constraint protocol)."""
+        state = self.interpret(prefix)
+        separator = self.vocabulary.sep_id
+        eos = self.vocabulary.eos_id
+        allowed: set[int] = set()
+
+        if state.database is None:
+            # Still decoding the database name.
+            allowed |= self._database_trie.allowed_next(state.current_words)
+            if state.current_words and self._database_trie.is_terminal(state.current_words):
+                allowed.add(separator)
+            return allowed
+
+        # Decoding table names within the committed database.
+        if not state.tables:
+            trie = self._table_trie(state.database)
+        elif len(state.tables) >= self.max_tables:
+            trie = PrefixTrie()  # no further tables allowed
+        else:
+            trie = self._restricted_trie(state.database, state.tables)
+        allowed |= trie.allowed_next(state.current_words)
+        if state.current_words and trie.is_terminal(state.current_words):
+            allowed.add(separator)
+        if state.complete and state.tables:
+            # A complete schema (>= 1 table) may stop here.
+            allowed.add(eos)
+        if not allowed:
+            allowed.add(eos)
+        return allowed
+
+    def __call__(self, prefix: list[int] | tuple[int, ...]) -> set[int] | None:
+        return self.allowed_tokens(prefix)

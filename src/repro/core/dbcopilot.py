@@ -1,0 +1,124 @@
+"""The DBCopilot facade: build, train, and route end to end.
+
+``DBCopilot.build(...)`` performs the full training pipeline of Figure 2:
+
+1. construct the schema graph from the catalog (Algorithm 1),
+2. instantiate a schema questioner (template-based by default, or a neural
+   questioner trained in reverse on NL2SQL training examples),
+3. synthesize training data by sampling schemata with random walks and
+   generating pseudo-questions,
+4. train the Seq2Seq schema router with DFS serialization, and
+5. wire up graph-constrained diverse-beam decoding for inference.
+
+The resulting object routes questions to candidate schemata and plugs into the
+SQL-generation pipeline of :mod:`repro.llm`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.graph import SchemaGraph
+from repro.core.questioner import NeuralQuestioner, SchemaQuestioner, TemplateQuestioner
+from repro.core.router import RouterConfig, SchemaRoute, SchemaRouter
+from repro.core.sampling import SamplerConfig, SchemaSampler
+from repro.core.synthesis import SynthesisConfig, SynthesisReport, synthesize_training_data
+from repro.datasets.examples import Example
+from repro.engine.instance import CatalogInstance
+from repro.retrieval.base import RoutingPrediction
+from repro.schema.catalog import Catalog
+
+
+@dataclass(frozen=True)
+class DBCopilotConfig:
+    """End-to-end configuration."""
+
+    router: RouterConfig = field(default_factory=RouterConfig)
+    sampler: SamplerConfig = field(default_factory=SamplerConfig)
+    synthesis: SynthesisConfig = field(default_factory=SynthesisConfig)
+    #: "template" or "neural" (the latter requires training examples).
+    questioner: str = "template"
+    #: Paraphrase rate of the template questioner.
+    paraphrase_probability: float = 0.5
+    seed: int = 0
+
+
+@dataclass
+class BuildReport:
+    """Timings and statistics of a build (feeds the Table 5 reproduction)."""
+
+    build_seconds: float = 0.0
+    synthesis: SynthesisReport | None = None
+    training_losses: list[float] = field(default_factory=list)
+    num_parameters: int = 0
+
+
+class DBCopilot:
+    """Schema routing over massive databases via a compact copilot model."""
+
+    def __init__(self, graph: SchemaGraph, router: SchemaRouter,
+                 questioner: SchemaQuestioner, config: DBCopilotConfig,
+                 build_report: BuildReport) -> None:
+        self.graph = graph
+        self.router = router
+        self.questioner = questioner
+        self.config = config
+        self.build_report = build_report
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def build(cls, catalog: Catalog, instances: CatalogInstance | None = None,
+              train_examples: list[Example] | None = None,
+              config: DBCopilotConfig | None = None) -> "DBCopilot":
+        """Build and train a DBCopilot instance over ``catalog``.
+
+        ``train_examples`` are only used to train the neural questioner (when
+        ``config.questioner == "neural"``); the router itself is always
+        trained on synthetic data, as in the paper.
+        """
+        config = config or DBCopilotConfig()
+        started = time.perf_counter()
+        graph = SchemaGraph.from_catalog(catalog, instances)
+        questioner = cls._build_questioner(catalog, train_examples, config)
+        sampler = SchemaSampler(graph, config=config.sampler, seed=config.seed)
+        report = synthesize_training_data(sampler, questioner, config.synthesis)
+        router = SchemaRouter(graph=graph, config=config.router)
+        losses = router.fit(report.examples)
+        build_report = BuildReport(
+            build_seconds=time.perf_counter() - started,
+            synthesis=report,
+            training_losses=losses,
+            num_parameters=router.num_parameters(),
+        )
+        return cls(graph=graph, router=router, questioner=questioner,
+                   config=config, build_report=build_report)
+
+    @staticmethod
+    def _build_questioner(catalog: Catalog, train_examples: list[Example] | None,
+                          config: DBCopilotConfig) -> SchemaQuestioner:
+        if config.questioner == "neural":
+            questioner = NeuralQuestioner(catalog, seed=config.seed)
+            if train_examples:
+                triples = [(example.database, example.tables, example.question)
+                           for example in train_examples]
+                questioner.fit(triples)
+            return questioner
+        if config.questioner == "template":
+            return TemplateQuestioner(catalog=catalog,
+                                      paraphrase_probability=config.paraphrase_probability,
+                                      seed=config.seed)
+        raise ValueError(f"unknown questioner kind {config.questioner!r}")
+
+    # -- inference ------------------------------------------------------------------
+    def route(self, question: str, max_candidates: int | None = None) -> list[SchemaRoute]:
+        """Return candidate schemata for ``question`` (best first)."""
+        return self.router.route(question, max_candidates=max_candidates)
+
+    def predict(self, question: str, max_candidates: int | None = None) -> RoutingPrediction:
+        """Routing in the shared prediction format used by the evaluation."""
+        return self.router.predict(question, max_candidates=max_candidates)
+
+    def best_schema(self, question: str) -> SchemaRoute | None:
+        routes = self.route(question, max_candidates=1)
+        return routes[0] if routes else None

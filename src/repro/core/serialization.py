@@ -1,0 +1,151 @@
+"""Schema serialization (paper §3.3, Algorithm 2).
+
+A SQL query schema ``S = <database, tables>`` is a partially ordered set; to
+train a Seq2Seq router it must be turned into a token sequence.  Two
+strategies are provided:
+
+* **DFS serialization** performs a depth-first traversal of the schema graph
+  restricted to the schema's nodes, so that consecutive elements are related
+  (database before its tables, joined tables adjacent).  The node iteration
+  order is randomised, so the same schema can yield different -- all valid --
+  serializations, which is exactly how the paper trains the router.
+* **Basic serialization** simply lists the tables in random order after the
+  database; it is the ablation baseline ("w/ BS" in Table 7).
+
+Serialized schemata are converted to word-token streams with an element
+separator for the tokenizer, and parsed back with :func:`tokens_to_schema`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.graph import SchemaGraph, database_node, table_node
+from repro.utils.rng import SeededRng
+from repro.utils.text import tokenize_text
+
+#: Separator token emitted between schema elements in the target stream.
+ELEMENT_SEPARATOR = "<sep>"
+
+
+@dataclass(frozen=True)
+class SerializedSchema:
+    """A serialization: ordered element names (database first)."""
+
+    database: str
+    elements: tuple[str, ...]
+
+    @property
+    def tables(self) -> tuple[str, ...]:
+        return self.elements[1:]
+
+
+def dfs_serialize(graph: SchemaGraph, database: str, tables: tuple[str, ...] | list[str],
+                  rng: SeededRng | None = None) -> SerializedSchema:
+    """Depth-first-search serialization of a schema (Algorithm 2).
+
+    The DFS starts at the root node and only visits nodes that belong to the
+    schema; successor iteration order is shuffled by ``rng`` (the paper's
+    iteration order :math:`\\pi`).  Tables unreachable through table relations
+    are appended afterwards so the serialization always covers the schema.
+    """
+    rng = rng or SeededRng(0)
+    wanted = {graph.root, database_node(database)}
+    wanted.update(table_node(database, table) for table in tables)
+
+    visited: list[tuple] = []
+    visited_set: set[tuple] = set()
+    stack: list[tuple] = [graph.root]
+    while stack:
+        node = stack.pop()
+        if node in visited_set:
+            continue
+        visited.append(node)
+        visited_set.add(node)
+        if visited_set == wanted:
+            break
+        successors = [
+            successor for successor in graph.successors(node)
+            if successor in wanted and successor not in visited_set
+        ]
+        stack.extend(rng.shuffled(successors))
+
+    ordered_names = [graph.node_name(node) for node in visited[1:]]  # skip the root
+    # Append any table that DFS could not reach (disconnected under the graph).
+    for table in tables:
+        if table not in ordered_names:
+            ordered_names.append(table)
+    return SerializedSchema(database=database, elements=tuple(ordered_names))
+
+
+def basic_serialize(database: str, tables: tuple[str, ...] | list[str],
+                    rng: SeededRng | None = None) -> SerializedSchema:
+    """Unordered (randomly shuffled) serialization -- the ablation baseline."""
+    rng = rng or SeededRng(0)
+    shuffled = rng.shuffled(list(tables))
+    return SerializedSchema(database=database, elements=tuple([database] + shuffled))
+
+
+def element_words(name: str) -> list[str]:
+    """Words composing one schema element identifier."""
+    return tokenize_text(name)
+
+
+def schema_to_tokens(serialized: SerializedSchema) -> list[str]:
+    """Convert a serialization to the word-token stream the router decodes.
+
+    Every element contributes its identifier words followed by the element
+    separator, e.g. ``concert_singer singer_in_concert`` becomes
+    ``concert singer <sep> singer in concert <sep>``.
+    """
+    tokens: list[str] = []
+    for element in serialized.elements:
+        tokens.extend(element_words(element))
+        tokens.append(ELEMENT_SEPARATOR)
+    return tokens
+
+
+def tokens_to_elements(tokens: list[str]) -> list[tuple[str, ...]]:
+    """Split a decoded token stream into element word tuples."""
+    elements: list[tuple[str, ...]] = []
+    current: list[str] = []
+    for token in tokens:
+        if token == ELEMENT_SEPARATOR:
+            if current:
+                elements.append(tuple(current))
+                current = []
+        else:
+            current.append(token)
+    if current:
+        elements.append(tuple(current))
+    return elements
+
+
+def tokens_to_schema(tokens: list[str], graph: SchemaGraph) -> tuple[str, tuple[str, ...]] | None:
+    """Parse a decoded token stream back into ``(database, tables)``.
+
+    Returns ``None`` when the first element does not name a database of the
+    graph.  Table elements that do not name tables of that database are
+    dropped (they can only appear when decoding unconstrained).
+    """
+    elements = tokens_to_elements(tokens)
+    if not elements:
+        return None
+    database = _match_name(elements[0], graph.databases())
+    if database is None:
+        return None
+    valid_tables = graph.tables_of(database)
+    tables: list[str] = []
+    for element in elements[1:]:
+        table = _match_name(element, valid_tables)
+        if table is not None and table not in tables:
+            tables.append(table)
+    return database, tuple(tables)
+
+
+def _match_name(words: tuple[str, ...], candidates: list[str]) -> str | None:
+    """Find the candidate identifier whose word decomposition equals ``words``."""
+    for candidate in candidates:
+        if tuple(element_words(candidate)) == words:
+            return candidate
+    return None

@@ -1,0 +1,50 @@
+"""Synthetic dataset substrate.
+
+The paper evaluates on Spider, BIRD, and Fiben (plus the Spider-syn and
+Spider-real robustness variants).  Those corpora cannot be downloaded in this
+offline environment, so this package generates synthetic analogues that match
+their *shape*: the number and heterogeneity of databases, the table/column
+scale, foreign-key topology, question styles, and -- for the robustness
+variants -- the vocabulary mismatch between questions and schema identifiers.
+
+The public entry points are the collection builders
+(:func:`build_spider_like`, :func:`build_bird_like`, :func:`build_fiben_like`)
+and the robustness transforms (:func:`make_synonym_variant`,
+:func:`make_realistic_variant`).
+"""
+
+from repro.datasets.examples import BenchmarkDataset, Example
+from repro.datasets.vocabulary import DOMAINS, DomainSpec, EntitySpec, SYNONYM_LEXICON
+from repro.datasets.generator import DatabaseGenerator, GeneratorConfig
+from repro.datasets.workload import WorkloadGenerator, WorkloadConfig
+from repro.datasets.collections import (
+    CollectionConfig,
+    build_bird_like,
+    build_collection,
+    build_fiben_like,
+    build_spider_like,
+)
+from repro.datasets.robustness import make_realistic_variant, make_synonym_variant
+from repro.datasets.adaptation import adapt_examples, dataset_statistics
+
+__all__ = [
+    "BenchmarkDataset",
+    "Example",
+    "DOMAINS",
+    "DomainSpec",
+    "EntitySpec",
+    "SYNONYM_LEXICON",
+    "DatabaseGenerator",
+    "GeneratorConfig",
+    "WorkloadGenerator",
+    "WorkloadConfig",
+    "CollectionConfig",
+    "build_spider_like",
+    "build_bird_like",
+    "build_fiben_like",
+    "build_collection",
+    "make_synonym_variant",
+    "make_realistic_variant",
+    "adapt_examples",
+    "dataset_statistics",
+]

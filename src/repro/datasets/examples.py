@@ -1,0 +1,82 @@
+"""Example and dataset containers.
+
+An :class:`Example` is one instance ``(N, S, Q)`` after dataset adaptation
+(paper §4.1.2): a natural-language question, its SQL query schema
+``S = <database, tables>``, and the gold SQL query.  A
+:class:`BenchmarkDataset` bundles the catalog (massive database collection),
+the stored rows, and the train/test example splits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+from repro.engine.instance import CatalogInstance
+from repro.schema.catalog import Catalog
+
+
+@dataclass(frozen=True)
+class Example:
+    """One schema-agnostic NL2SQL instance."""
+
+    question: str
+    database: str
+    tables: tuple[str, ...]
+    sql: str
+    columns: tuple[str, ...] = ()
+    difficulty: str = "medium"
+    template: str = ""
+
+    @property
+    def schema(self) -> tuple[str, tuple[str, ...]]:
+        """The SQL query schema ``S = <D, T>``."""
+        return (self.database, self.tables)
+
+    def with_question(self, question: str) -> "Example":
+        """A copy of the example with a rewritten question (robustness variants)."""
+        return replace(self, question=question)
+
+
+@dataclass
+class BenchmarkDataset:
+    """A full benchmark: catalog, data, and example splits."""
+
+    name: str
+    catalog: Catalog
+    instances: CatalogInstance
+    train_examples: list[Example] = field(default_factory=list)
+    test_examples: list[Example] = field(default_factory=list)
+
+    @property
+    def num_databases(self) -> int:
+        return len(self.catalog)
+
+    @property
+    def num_tables(self) -> int:
+        return self.catalog.num_tables
+
+    @property
+    def num_columns(self) -> int:
+        return self.catalog.num_columns
+
+    def examples(self, split: str) -> list[Example]:
+        if split == "train":
+            return self.train_examples
+        if split == "test":
+            return self.test_examples
+        raise ValueError(f"unknown split {split!r}; expected 'train' or 'test'")
+
+    def with_test_examples(self, examples: Iterable[Example], suffix: str) -> "BenchmarkDataset":
+        """A shallow variant sharing the catalog but with different test questions.
+
+        Used to build the Spider-syn / Spider-real analogues, which share the
+        database collection of the base dataset (paper Table 2).
+        """
+        return BenchmarkDataset(
+            name=f"{self.name}_{suffix}",
+            catalog=self.catalog,
+            instances=self.instances,
+            train_examples=list(self.train_examples),
+            test_examples=list(examples),
+        )

@@ -1,0 +1,113 @@
+"""Robustness variants of a benchmark (Spider-syn / Spider-real analogues).
+
+The paper evaluates schema routing under *semantic mismatch* using two
+robustness datasets built on Spider:
+
+* **Spider-syn** replaces schema-related words in the question with real-world
+  paraphrases (synonym substitution).
+* **Spider-real** removes explicit column-name mentions, so the question no
+  longer contains the identifier words the retrieval baselines match on.
+
+Both variants share the database collection of the base dataset.  The
+transforms below reproduce those perturbations on synthetic questions, using
+the shared synonym lexicon.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.datasets.examples import BenchmarkDataset, Example
+from repro.datasets.vocabulary import SYNONYM_LEXICON
+from repro.schema.catalog import Catalog
+from repro.utils.rng import SeededRng
+from repro.utils.text import singularize, tokenize_text
+
+#: Generic fallback replacements when a column word has no lexicon entry.
+_GENERIC_REPLACEMENTS = ("information", "details", "figure", "value", "record")
+
+
+def _schema_words(catalog: Catalog, database: str, tables: tuple[str, ...]) -> tuple[set[str], set[str]]:
+    """Return (table words, column words) of the gold schema of an example."""
+    db = catalog.database(database)
+    table_words: set[str] = set()
+    column_words: set[str] = set()
+    for table_name in tables:
+        if not db.has_table(table_name):
+            continue
+        table = db.table(table_name)
+        table_words.update(tokenize_text(table.name))
+        for column in table.columns:
+            column_words.update(tokenize_text(column.name))
+    return table_words, column_words
+
+
+def _replace_word(question: str, word: str, replacement: str) -> str:
+    """Replace whole-word occurrences of ``word`` (case-insensitive)."""
+    pattern = re.compile(rf"\b{re.escape(word)}\b", flags=re.IGNORECASE)
+    return pattern.sub(replacement, question)
+
+
+def perturb_question_synonyms(question: str, schema_words: set[str], rng: SeededRng,
+                              probability: float = 0.9) -> str:
+    """Synonym-substitute schema-related words of ``question``."""
+    rewritten = question
+    for word in sorted(set(tokenize_text(question))):
+        base = singularize(word)
+        if base not in schema_words and word not in schema_words:
+            continue
+        synonyms = SYNONYM_LEXICON.get(base) or SYNONYM_LEXICON.get(word)
+        if not synonyms or not rng.coin(probability):
+            continue
+        rewritten = _replace_word(rewritten, word, rng.choice(synonyms))
+    return rewritten
+
+
+def perturb_question_realistic(question: str, table_words: set[str], column_words: set[str],
+                               rng: SeededRng, probability: float = 0.9) -> str:
+    """Remove explicit column mentions, keeping the question natural.
+
+    Column words are replaced by a paraphrase when the lexicon has one and by
+    a generic noun otherwise; table words are left alone (Spider-real keeps
+    the entities but drops the column names).
+    """
+    rewritten = question
+    for word in sorted(set(tokenize_text(question))):
+        base = singularize(word)
+        is_column_word = (base in column_words or word in column_words)
+        is_table_word = (base in table_words or word in table_words)
+        if not is_column_word or is_table_word:
+            continue
+        if not rng.coin(probability):
+            continue
+        synonyms = SYNONYM_LEXICON.get(base) or SYNONYM_LEXICON.get(word)
+        replacement = rng.choice(synonyms) if synonyms else rng.choice(_GENERIC_REPLACEMENTS)
+        rewritten = _replace_word(rewritten, word, replacement)
+    return rewritten
+
+
+def make_synonym_variant(dataset: BenchmarkDataset, seed: int = 101,
+                         probability: float = 0.9) -> BenchmarkDataset:
+    """Build the Spider-syn analogue of ``dataset`` (shared catalog)."""
+    rng = SeededRng(seed)
+    perturbed: list[Example] = []
+    for example in dataset.test_examples:
+        table_words, column_words = _schema_words(dataset.catalog, example.database, example.tables)
+        schema_words = table_words | column_words
+        question = perturb_question_synonyms(example.question, schema_words,
+                                             rng.child(example.question), probability)
+        perturbed.append(example.with_question(question))
+    return dataset.with_test_examples(perturbed, suffix="syn")
+
+
+def make_realistic_variant(dataset: BenchmarkDataset, seed: int = 103,
+                           probability: float = 0.9) -> BenchmarkDataset:
+    """Build the Spider-real analogue of ``dataset`` (shared catalog)."""
+    rng = SeededRng(seed)
+    perturbed: list[Example] = []
+    for example in dataset.test_examples:
+        table_words, column_words = _schema_words(dataset.catalog, example.database, example.tables)
+        question = perturb_question_realistic(example.question, table_words, column_words,
+                                              rng.child(example.question), probability)
+        perturbed.append(example.with_question(question))
+    return dataset.with_test_examples(perturbed, suffix="real")

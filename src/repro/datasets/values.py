@@ -1,0 +1,205 @@
+"""Value pools for synthetic row generation.
+
+Each attribute of a domain names a *value pool* (``person_name``, ``city``,
+``money``, ...).  The pools provide realistic-looking values so that SQL
+filters (``WHERE city = 'Berlin'``), joins on value overlap, and aggregate
+queries all behave like they would on real benchmark databases.
+"""
+
+from __future__ import annotations
+
+from repro.schema.column import ColumnType
+from repro.utils.rng import SeededRng
+
+_FIRST_NAMES = (
+    "Alice", "Bob", "Carol", "David", "Elena", "Frank", "Grace", "Hiro", "Ingrid",
+    "Jamal", "Keiko", "Lucas", "Maria", "Noah", "Olga", "Pedro", "Quinn", "Rosa",
+    "Sven", "Tara", "Umar", "Vera", "Wei", "Ximena", "Yusuf", "Zara",
+)
+_LAST_NAMES = (
+    "Smith", "Garcia", "Chen", "Patel", "Kim", "Okafor", "Mueller", "Rossi",
+    "Silva", "Tanaka", "Novak", "Dubois", "Ivanov", "Haddad", "Larsen", "Costa",
+)
+_CITIES = (
+    "Berlin", "Paris", "Tokyo", "Nairobi", "Lima", "Toronto", "Sydney", "Mumbai",
+    "Seoul", "Chicago", "Madrid", "Cairo", "Oslo", "Santiago", "Vienna", "Denver",
+    "Hangzhou", "Porto", "Austin", "Krakow",
+)
+_COUNTRIES = (
+    "France", "Japan", "Brazil", "Kenya", "Canada", "Australia", "India", "Korea",
+    "Spain", "Egypt", "Norway", "Chile", "Austria", "Germany", "Portugal", "Peru",
+    "China", "Mexico", "Italy", "Sweden",
+)
+_CONTINENTS = ("Asia", "Europe", "Africa", "North America", "South America", "Oceania")
+_LANGUAGES = (
+    "English", "Mandarin", "Spanish", "Hindi", "Arabic", "Portuguese", "Swahili",
+    "French", "German", "Japanese", "Korean", "Italian",
+)
+_RIVERS = ("Nile", "Amazon", "Danube", "Mekong", "Volga", "Rhine", "Ganges", "Parana")
+_COMPANIES = (
+    "Acme Corp", "Globex", "Initech", "Umbrella", "Hooli", "Stark Industries",
+    "Wayne Enterprises", "Wonka", "Tyrell", "Cyberdyne", "Aperture", "Soylent",
+)
+_VENUES = (
+    "Grand Arena", "Riverside Hall", "Sunset Pavilion", "Central Stadium",
+    "Harbor Theater", "Summit Center", "Maple Auditorium", "Crystal Dome",
+)
+_EVENT_NAMES = (
+    "Summer Jam", "Winter Gala", "Spring Fest", "Harvest Night", "Aurora Tour",
+    "Echo Live", "Skyline Session", "Velvet Evening",
+)
+_PRODUCTS = (
+    "Laptop", "Espresso Machine", "Road Bike", "Desk Lamp", "Headphones",
+    "Backpack", "Monitor", "Keyboard", "Water Bottle", "Camera", "Notebook",
+)
+_CATEGORIES = (
+    "electronics", "furniture", "clothing", "groceries", "sports", "books",
+    "toys", "garden", "beauty", "automotive",
+)
+_GENRES = ("rock", "jazz", "pop", "classical", "hip hop", "folk", "electronic", "blues")
+_SUBJECTS = (
+    "Mathematics", "Biology", "History", "Computer Science", "Economics",
+    "Philosophy", "Chemistry", "Linguistics", "Physics", "Sociology",
+)
+_DEPARTMENTS = (
+    "Engineering", "Marketing", "Finance", "Operations", "Research", "Cardiology",
+    "Radiology", "Admissions", "Humanities", "Athletics",
+)
+_POSITIONS = (
+    "manager", "analyst", "forward", "goalkeeper", "professor", "associate",
+    "director", "specialist", "coordinator", "midfielder",
+)
+_SPECIALTIES = (
+    "cardiology", "neurology", "oncology", "pediatrics", "orthopedics",
+    "dermatology", "psychiatry", "radiology",
+)
+_TREATMENTS = (
+    "physiotherapy", "chemotherapy", "dialysis", "vaccination", "surgery",
+    "acupuncture", "radiotherapy", "transfusion",
+)
+_TITLES = (
+    "Silent Horizon", "Golden Hour", "Paper Cities", "The Long Road",
+    "Midnight Garden", "Broken Compass", "Glass Rivers", "Second Spring",
+    "Hidden Valley", "Iron Harvest", "Falling Stars", "Quiet Storm",
+)
+_PARTIES = ("Unity Party", "Progress Alliance", "Green Front", "Liberty Union", "Civic Forum")
+_REGIONS = ("North", "South", "East", "West", "Central", "Coastal", "Highland", "Metro")
+_INDICATORS = ("GDP", "CPI", "Unemployment", "Exports", "Imports", "Retail Sales")
+_UNITS = ("billion usd", "percent", "thousand persons", "index", "million usd")
+_STATUSES = ("open", "closed", "pending", "approved", "rejected")
+_LEVELS = ("introductory", "intermediate", "advanced", "graduate")
+_ADDRESSES = (
+    "12 Oak Street", "98 Elm Avenue", "5 Harbor Road", "44 Birch Lane",
+    "301 Main Street", "77 Cedar Court", "15 Lake View", "8 Hill Crescent",
+)
+
+
+class ValuePools:
+    """Draws values for a named pool using a seeded RNG."""
+
+    def __init__(self, rng: SeededRng) -> None:
+        self._rng = rng
+        self._counters: dict[str, int] = {}
+
+    def draw(self, pool: str, column_type: ColumnType) -> object:
+        """Draw one value from ``pool`` coerced to ``column_type`` semantics."""
+        if column_type is ColumnType.BOOLEAN or pool == "boolean":
+            return self._rng.coin(0.5)
+        if column_type is ColumnType.INTEGER:
+            return self._draw_integer(pool)
+        if column_type is ColumnType.REAL:
+            return round(self._draw_real(pool), 2)
+        if column_type is ColumnType.DATE or pool == "date":
+            return self._draw_date()
+        return self._draw_text(pool)
+
+    # -- typed draws -------------------------------------------------------
+    def _draw_integer(self, pool: str) -> int:
+        ranges = {
+            "age": (18, 75),
+            "year": (1980, 2024),
+            "population": (10_000, 40_000_000),
+            "capacity": (100, 90_000),
+            "quantity": (1, 500),
+            "small_count": (0, 30),
+            "duration": (5, 240),
+            "horsepower": (70, 650),
+            "quarter": (1, 4),
+        }
+        low, high = ranges.get(pool, (1, 1000))
+        return self._rng.randint(low, high)
+
+    def _draw_real(self, pool: str) -> float:
+        ranges = {
+            "money": (1_000.0, 5_000_000.0),
+            "rating": (1.0, 10.0),
+            "distance": (50.0, 12_000.0),
+            "weight": (0.5, 2_500.0),
+            "area": (10.0, 1_000_000.0),
+            "capacity": (50.0, 5_000.0),
+        }
+        low, high = ranges.get(pool, (0.0, 100.0))
+        return self._rng.uniform(low, high)
+
+    def _draw_date(self) -> str:
+        year = self._rng.randint(2015, 2024)
+        month = self._rng.randint(1, 12)
+        day = self._rng.randint(1, 28)
+        return f"{year:04d}-{month:02d}-{day:02d}"
+
+    def _draw_text(self, pool: str) -> str:
+        pools: dict[str, tuple[str, ...]] = {
+            "person_name": (),  # handled below (composed)
+            "city": _CITIES,
+            "country": _COUNTRIES,
+            "continent": _CONTINENTS,
+            "language": _LANGUAGES,
+            "river": _RIVERS,
+            "company": _COMPANIES,
+            "venue": _VENUES,
+            "event_name": _EVENT_NAMES,
+            "product": _PRODUCTS,
+            "category": _CATEGORIES,
+            "genre": _GENRES,
+            "subject": _SUBJECTS,
+            "department": _DEPARTMENTS,
+            "position": _POSITIONS,
+            "specialty": _SPECIALTIES,
+            "treatment": _TREATMENTS,
+            "title": _TITLES,
+            "party": _PARTIES,
+            "region": _REGIONS,
+            "indicator": _INDICATORS,
+            "unit": _UNITS,
+            "status": _STATUSES,
+            "level": _LEVELS,
+            "address": _ADDRESSES,
+        }
+        if pool == "person_name":
+            return f"{self._rng.choice(_FIRST_NAMES)} {self._rng.choice(_LAST_NAMES)}"
+        if pool == "email":
+            name = self._rng.choice(_FIRST_NAMES).lower()
+            number = self._next_counter("email")
+            return f"{name}{number}@example.com"
+        if pool == "code":
+            number = self._next_counter("code")
+            prefix = self._rng.choice(("AA", "BX", "CR", "DL", "EF", "GH"))
+            return f"{prefix}{number:04d}"
+        values = pools.get(pool)
+        if values:
+            return self._rng.choice(values)
+        # Generic fallback: an opaque but unique-ish token.
+        return f"{pool}_{self._next_counter(pool)}"
+
+    def _next_counter(self, key: str) -> int:
+        self._counters[key] = self._counters.get(key, 0) + 1
+        return self._counters[key]
+
+
+#: Pools whose values are categorical enough to be used in WHERE equality
+#: filters by the workload generator (numeric pools use comparisons instead).
+FILTERABLE_TEXT_POOLS = {
+    "city", "country", "continent", "language", "genre", "category", "subject",
+    "department", "position", "specialty", "status", "level", "party", "region",
+    "indicator", "venue",
+}

@@ -1,0 +1,503 @@
+"""Synthetic NL2SQL workload generator.
+
+Produces ``(question, SQL, schema)`` examples over a generated database.  The
+query templates mirror the shapes highlighted by the paper and by Spider/BIRD:
+single-table filters and aggregates, superlatives, foreign-key joins, joins
+through junction tables (paper Example 2), grouped counts with ordering, and
+nested sub-queries (paper Example 3).
+
+Question phrasing intentionally mentions schema words (table/column names);
+the robustness transforms later replace them with paraphrases to recreate
+Spider-syn / Spider-real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.examples import Example
+from repro.datasets.generator import GeneratedDatabase
+from repro.datasets.values import FILTERABLE_TEXT_POOLS
+from repro.datasets.vocabulary import DomainSpec
+from repro.schema.column import Column, ColumnType
+from repro.schema.table import Table
+from repro.utils.rng import SeededRng
+from repro.utils.text import pluralize
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs controlling workload generation."""
+
+    #: Number of examples to aim for per database.
+    examples_per_database: int = 30
+    #: Probability that a schema word in a question gets replaced by a
+    #: paraphrase from the synonym lexicon.  Real benchmark questions rarely
+    #: quote identifiers verbatim, so a moderate rate keeps the lexical gap
+    #: between questions and schemata realistic (the robustness variants push
+    #: this much further).
+    paraphrase_probability: float = 0.35
+
+
+@dataclass
+class _TemplateContext:
+    """Everything a template needs to emit an example."""
+
+    generated: GeneratedDatabase
+    domain: DomainSpec
+    rng: SeededRng
+
+    @property
+    def database_name(self) -> str:
+        return self.generated.database.name
+
+
+class WorkloadGenerator:
+    """Generates NL/SQL example pairs for a generated database."""
+
+    def __init__(self, config: WorkloadConfig | None = None, seed: int = 0) -> None:
+        self.config = config or WorkloadConfig()
+        self._rng = SeededRng(seed)
+
+    # -- public API -----------------------------------------------------------
+    def generate(self, generated: GeneratedDatabase, domain: DomainSpec) -> list[Example]:
+        """Generate examples for one database."""
+        rng = self._rng.child(generated.database.name)
+        context = _TemplateContext(generated=generated, domain=domain, rng=rng)
+        templates = [
+            self._list_with_filter,
+            self._count_with_filter,
+            self._aggregate,
+            self._superlative,
+            self._join_one_to_many,
+            self._join_junction,
+            self._grouped_count,
+            self._nested_max,
+            self._in_subquery,
+        ]
+        examples: list[Example] = []
+        attempts = 0
+        max_attempts = self.config.examples_per_database * 6
+        while len(examples) < self.config.examples_per_database and attempts < max_attempts:
+            attempts += 1
+            template = rng.choice(templates)
+            example = template(context)
+            if example is not None:
+                examples.append(self._apply_paraphrases(example, context))
+        return examples
+
+    def _apply_paraphrases(self, example: Example, context: _TemplateContext) -> Example:
+        """Lightly paraphrase schema words so questions are not verbatim schema."""
+        if self.config.paraphrase_probability <= 0.0:
+            return example
+        # Imported here to keep the module dependency one-way at import time.
+        from repro.datasets.robustness import perturb_question_synonyms
+
+        database = context.generated.database
+        schema_words: set[str] = set()
+        for table_name in example.tables:
+            table = database.table(table_name)
+            schema_words.update(table.words)
+            for column in table.columns:
+                schema_words.update(column.words)
+        question = perturb_question_synonyms(
+            example.question, schema_words,
+            context.rng.child(f"paraphrase:{example.question}"),
+            probability=self.config.paraphrase_probability,
+        )
+        return example.with_question(question)
+
+    # -- template helpers ---------------------------------------------------------
+    def _entity_table(self, context: _TemplateContext, exclude: set[str] | None = None) -> tuple[str, Table] | None:
+        """Pick a random (entity, table) pair, skipping junction tables."""
+        candidates = [
+            (entity, context.generated.database.table(table_name))
+            for entity, table_name in context.generated.entity_tables.items()
+            if exclude is None or entity not in exclude
+        ]
+        if not candidates:
+            return None
+        return context.rng.choice(candidates)
+
+    def _filter_column(self, table: Table, context: _TemplateContext) -> Column | None:
+        """Pick a column usable in a WHERE equality/range filter."""
+        candidates = [
+            column for column in table.columns
+            if not column.is_primary_key and not column.name.endswith("_id")
+        ]
+        if not candidates:
+            return None
+        return context.rng.choice(candidates)
+
+    def _display_column(self, table: Table, context: _TemplateContext,
+                        exclude: str | None = None) -> Column | None:
+        """Pick a human-meaningful column to project (prefer text columns)."""
+        text_columns = [
+            column for column in table.columns
+            if column.column_type is ColumnType.TEXT and not column.is_primary_key
+            and column.name != exclude and not column.name.endswith("_id")
+        ]
+        other_columns = [
+            column for column in table.columns
+            if not column.is_primary_key and column.name != exclude
+            and not column.name.endswith("_id")
+        ]
+        candidates = text_columns or other_columns
+        if not candidates:
+            return None
+        return context.rng.choice(candidates)
+
+    @staticmethod
+    def _identity_column(table: Table) -> Column | None:
+        """The column that naturally identifies a row ("name", "title", ...).
+
+        Questions like "Which singer ..." implicitly ask for this column, so
+        templates that do not mention the projected column explicitly use it;
+        otherwise the question would be unanswerable even with a gold schema.
+        """
+        preferred = ("name", "title")
+        for column in table.columns:
+            if column.name in preferred:
+                return column
+        for column in table.columns:
+            if column.name.endswith("_name") or column.name.endswith("_title"):
+                return column
+        return None
+
+    def _numeric_column(self, table: Table, context: _TemplateContext) -> Column | None:
+        candidates = [
+            column for column in table.columns
+            if column.column_type.is_numeric and not column.is_primary_key
+            and not column.name.endswith("_id")
+        ]
+        if not candidates:
+            return None
+        return context.rng.choice(candidates)
+
+    def _sample_value(self, context: _TemplateContext, table: Table, column: Column) -> object | None:
+        """Pick a value of ``column`` that actually occurs in the stored rows."""
+        instance = context.generated.instance
+        rows = instance.tables.get(table.name, [])
+        if not rows:
+            return None
+        index = table.column_names.index(column.name)
+        values = [row[index] for row in rows if row[index] is not None]
+        if not values:
+            return None
+        return context.rng.choice(values)
+
+    def _filter_sql_and_phrase(self, context: _TemplateContext, table: Table,
+                               column: Column, alias: str | None = None) -> tuple[str, str] | None:
+        """Build a WHERE fragment and its natural-language phrasing."""
+        value = self._sample_value(context, table, column)
+        if value is None:
+            return None
+        qualifier = f"{alias}." if alias else ""
+        word = column.name.replace("_", " ")
+        if column.column_type is ColumnType.TEXT or column.column_type is ColumnType.DATE:
+            sql = f"{qualifier}{column.name} = '{value}'"
+            phrase = f"whose {word} is {value}"
+        elif column.column_type is ColumnType.BOOLEAN:
+            literal = "TRUE" if value else "FALSE"
+            sql = f"{qualifier}{column.name} = {literal}"
+            phrase = f"where {word} is {str(bool(value)).lower()}"
+        else:
+            if context.rng.coin(0.5):
+                sql = f"{qualifier}{column.name} > {value}"
+                phrase = f"with {word} greater than {value}"
+            else:
+                sql = f"{qualifier}{column.name} < {value}"
+                phrase = f"with {word} less than {value}"
+        return sql, phrase
+
+    @staticmethod
+    def _columns_of(*pairs: tuple[str, Column | None]) -> tuple[str, ...]:
+        names = []
+        for table_name, column in pairs:
+            if column is not None:
+                names.append(f"{table_name}.{column.name}")
+        return tuple(names)
+
+    # -- templates --------------------------------------------------------------------
+    def _list_with_filter(self, context: _TemplateContext) -> Example | None:
+        picked = self._entity_table(context)
+        if picked is None:
+            return None
+        entity, table = picked
+        display = self._display_column(table, context)
+        filter_column = self._filter_column(table, context)
+        if display is None or filter_column is None or display.name == filter_column.name:
+            return None
+        built = self._filter_sql_and_phrase(context, table, filter_column)
+        if built is None:
+            return None
+        condition, phrase = built
+        sql = f"SELECT {display.name} FROM {table.name} WHERE {condition}"
+        question = context.rng.choice([
+            f"What is the {display.name.replace('_', ' ')} of the {entity} {phrase}?",
+            f"List the {display.name.replace('_', ' ')} of {pluralize(entity)} {phrase}.",
+            f"Show the {display.name.replace('_', ' ')} for every {entity} {phrase}.",
+        ])
+        return Example(
+            question=question, database=context.database_name, tables=(table.name,),
+            sql=sql, columns=self._columns_of((table.name, display), (table.name, filter_column)),
+            difficulty="easy", template="list_with_filter",
+        )
+
+    def _count_with_filter(self, context: _TemplateContext) -> Example | None:
+        picked = self._entity_table(context)
+        if picked is None:
+            return None
+        entity, table = picked
+        filter_column = self._filter_column(table, context)
+        if filter_column is None:
+            return None
+        built = self._filter_sql_and_phrase(context, table, filter_column)
+        if built is None:
+            return None
+        condition, phrase = built
+        sql = f"SELECT COUNT(*) FROM {table.name} WHERE {condition}"
+        question = context.rng.choice([
+            f"How many {pluralize(entity)} are there {phrase}?",
+            f"Count the {pluralize(entity)} {phrase}.",
+            f"What is the number of {pluralize(entity)} {phrase}?",
+        ])
+        return Example(
+            question=question, database=context.database_name, tables=(table.name,),
+            sql=sql, columns=self._columns_of((table.name, filter_column)),
+            difficulty="easy", template="count_with_filter",
+        )
+
+    def _aggregate(self, context: _TemplateContext) -> Example | None:
+        picked = self._entity_table(context)
+        if picked is None:
+            return None
+        entity, table = picked
+        numeric = self._numeric_column(table, context)
+        if numeric is None:
+            return None
+        function = context.rng.choice(["AVG", "MAX", "MIN", "SUM"])
+        sql = f"SELECT {function}({numeric.name}) FROM {table.name}"
+        wording = {"AVG": "average", "MAX": "maximum", "MIN": "minimum", "SUM": "total"}[function]
+        question = context.rng.choice([
+            f"What is the {wording} {numeric.name.replace('_', ' ')} of all {pluralize(entity)}?",
+            f"Find the {wording} {numeric.name.replace('_', ' ')} across {pluralize(entity)}.",
+        ])
+        return Example(
+            question=question, database=context.database_name, tables=(table.name,),
+            sql=sql, columns=self._columns_of((table.name, numeric)),
+            difficulty="easy", template="aggregate",
+        )
+
+    def _superlative(self, context: _TemplateContext) -> Example | None:
+        picked = self._entity_table(context)
+        if picked is None:
+            return None
+        entity, table = picked
+        identity = self._identity_column(table)
+        numeric = self._numeric_column(table, context)
+        if numeric is None:
+            return None
+        descending = context.rng.coin(0.5)
+        direction = "DESC" if descending else "ASC"
+        wording = "highest" if descending else "lowest"
+        if identity is not None and context.rng.coin(0.5):
+            # Implicit projection: "which singer" asks for the identity column.
+            display = identity
+            question = f"Which {entity} has the {wording} {numeric.name.replace('_', ' ')}?"
+        else:
+            display = self._display_column(table, context)
+            if display is None or display.name == numeric.name:
+                return None
+            question = (f"Give the {display.name.replace('_', ' ')} of the {entity} "
+                        f"with the {wording} {numeric.name.replace('_', ' ')}.")
+        sql = (f"SELECT {display.name} FROM {table.name} "
+               f"ORDER BY {numeric.name} {direction} LIMIT 1")
+        return Example(
+            question=question, database=context.database_name, tables=(table.name,),
+            sql=sql, columns=self._columns_of((table.name, display), (table.name, numeric)),
+            difficulty="medium", template="superlative",
+        )
+
+    def _one_to_many_relation(self, context: _TemplateContext):
+        relations = [r for r in context.domain.relations if r.kind == "one_to_many"]
+        if not relations:
+            return None
+        return context.rng.choice(relations)
+
+    def _join_one_to_many(self, context: _TemplateContext) -> Example | None:
+        relation = self._one_to_many_relation(context)
+        if relation is None:
+            return None
+        generated = context.generated
+        parent_table = generated.database.table(generated.entity_tables[relation.parent])
+        child_table = generated.database.table(generated.entity_tables[relation.child])
+        parent_pk = generated.primary_keys[parent_table.name]
+        display = self._display_column(child_table, context)
+        filter_column = self._filter_column(parent_table, context)
+        if display is None or filter_column is None:
+            return None
+        built = self._filter_sql_and_phrase(context, parent_table, filter_column, alias="p")
+        if built is None:
+            return None
+        condition, phrase = built
+        sql = (f"SELECT c.{display.name} FROM {child_table.name} AS c "
+               f"JOIN {parent_table.name} AS p ON c.{parent_pk} = p.{parent_pk} "
+               f"WHERE {condition}")
+        question = context.rng.choice([
+            f"Show the {display.name.replace('_', ' ')} of {pluralize(relation.child)} "
+            f"belonging to the {relation.parent} {phrase}.",
+            f"What are the {display.name.replace('_', ' ')} values of {pluralize(relation.child)} "
+            f"for the {relation.parent} {phrase}?",
+            f"List every {relation.child} {display.name.replace('_', ' ')} of the "
+            f"{relation.parent} {phrase}.",
+        ])
+        return Example(
+            question=question, database=context.database_name,
+            tables=(child_table.name, parent_table.name), sql=sql,
+            columns=self._columns_of((child_table.name, display),
+                                     (parent_table.name, filter_column)),
+            difficulty="medium", template="join_one_to_many",
+        )
+
+    def _join_junction(self, context: _TemplateContext) -> Example | None:
+        relations = [r for r in context.domain.relations if r.kind == "many_to_many"]
+        if not relations:
+            return None
+        relation = context.rng.choice(relations)
+        generated = context.generated
+        parent_table = generated.database.table(generated.entity_tables[relation.parent])
+        child_table = generated.database.table(generated.entity_tables[relation.child])
+        junction_name = relation.junction_name or f"{relation.parent}_{relation.child}"
+        junction_table = next(
+            table for table in generated.database.tables if table.name.endswith(junction_name)
+        )
+        parent_pk = generated.primary_keys[parent_table.name]
+        child_pk = generated.primary_keys[child_table.name]
+        identity = self._identity_column(parent_table)
+        filter_column = self._filter_column(child_table, context)
+        if filter_column is None:
+            return None
+        built = self._filter_sql_and_phrase(context, child_table, filter_column, alias="c")
+        if built is None:
+            return None
+        condition, phrase = built
+        if identity is not None and context.rng.coin(0.6):
+            display = identity
+            question = context.rng.choice([
+                f"Which {pluralize(relation.parent)} are linked to the {relation.child} {phrase}?",
+                f"Find the {pluralize(relation.parent)} connected to a {relation.child} {phrase}.",
+            ])
+        else:
+            display = self._display_column(parent_table, context)
+            if display is None:
+                return None
+            question = (f"Show the {display.name.replace('_', ' ')} of {pluralize(relation.parent)} "
+                        f"associated with {pluralize(relation.child)} {phrase}.")
+        sql = (f"SELECT p.{display.name} FROM {junction_table.name} AS j "
+               f"JOIN {parent_table.name} AS p ON j.{parent_pk} = p.{parent_pk} "
+               f"JOIN {child_table.name} AS c ON j.{child_pk} = c.{child_pk} "
+               f"WHERE {condition}")
+        return Example(
+            question=question, database=context.database_name,
+            tables=(junction_table.name, parent_table.name, child_table.name), sql=sql,
+            columns=self._columns_of((parent_table.name, display),
+                                     (child_table.name, filter_column)),
+            difficulty="hard", template="join_junction",
+        )
+
+    def _grouped_count(self, context: _TemplateContext) -> Example | None:
+        relation = self._one_to_many_relation(context)
+        if relation is None:
+            return None
+        generated = context.generated
+        parent_table = generated.database.table(generated.entity_tables[relation.parent])
+        child_table = generated.database.table(generated.entity_tables[relation.child])
+        parent_pk = generated.primary_keys[parent_table.name]
+        identity = self._identity_column(parent_table)
+        if identity is not None and context.rng.coin(0.6):
+            display = identity
+            question = f"Which {relation.parent} has the most {pluralize(relation.child)}?"
+        else:
+            display = self._display_column(parent_table, context)
+            if display is None:
+                return None
+            question = (f"Find the {relation.parent} {display.name.replace('_', ' ')} with the "
+                        f"largest number of {pluralize(relation.child)}.")
+        sql = (f"SELECT p.{display.name} FROM {child_table.name} AS c "
+               f"JOIN {parent_table.name} AS p ON c.{parent_pk} = p.{parent_pk} "
+               f"GROUP BY p.{display.name} ORDER BY COUNT(*) DESC LIMIT 1")
+        return Example(
+            question=question, database=context.database_name,
+            tables=(child_table.name, parent_table.name), sql=sql,
+            columns=self._columns_of((parent_table.name, display)),
+            difficulty="hard", template="grouped_count",
+        )
+
+    def _nested_max(self, context: _TemplateContext) -> Example | None:
+        picked = self._entity_table(context)
+        if picked is None:
+            return None
+        entity, table = picked
+        identity = self._identity_column(table)
+        numeric = self._numeric_column(table, context)
+        if numeric is None:
+            return None
+        function = context.rng.choice(["MAX", "MIN"])
+        wording = "largest" if function == "MAX" else "smallest"
+        if identity is not None and context.rng.coin(0.5):
+            display = identity
+            question = f"Which {entity} has the {wording} {numeric.name.replace('_', ' ')}?"
+        else:
+            display = self._display_column(table, context)
+            if display is None or display.name == numeric.name:
+                return None
+            question = (f"Return the {display.name.replace('_', ' ')} of the {entity} whose "
+                        f"{numeric.name.replace('_', ' ')} is the {wording}.")
+        sql = (f"SELECT {display.name} FROM {table.name} "
+               f"WHERE {numeric.name} = (SELECT {function}({numeric.name}) FROM {table.name})")
+        return Example(
+            question=question, database=context.database_name, tables=(table.name,),
+            sql=sql, columns=self._columns_of((table.name, display), (table.name, numeric)),
+            difficulty="medium", template="nested_max",
+        )
+
+    def _in_subquery(self, context: _TemplateContext) -> Example | None:
+        relation = self._one_to_many_relation(context)
+        if relation is None:
+            return None
+        generated = context.generated
+        parent_table = generated.database.table(generated.entity_tables[relation.parent])
+        child_table = generated.database.table(generated.entity_tables[relation.child])
+        parent_pk = generated.primary_keys[parent_table.name]
+        identity = self._identity_column(parent_table)
+        filter_column = self._filter_column(child_table, context)
+        if filter_column is None:
+            return None
+        built = self._filter_sql_and_phrase(context, child_table, filter_column)
+        if built is None:
+            return None
+        condition, phrase = built
+        if identity is not None and context.rng.coin(0.6):
+            display = identity
+            question = f"Which {pluralize(relation.parent)} have a {relation.child} {phrase}?"
+        else:
+            display = self._display_column(parent_table, context)
+            if display is None:
+                return None
+            question = (f"List the {display.name.replace('_', ' ')} of {pluralize(relation.parent)} "
+                        f"that have at least one {relation.child} {phrase}.")
+        sql = (f"SELECT {display.name} FROM {parent_table.name} "
+               f"WHERE {parent_pk} IN (SELECT {parent_pk} FROM {child_table.name} "
+               f"WHERE {condition})")
+        return Example(
+            question=question, database=context.database_name,
+            tables=(parent_table.name, child_table.name), sql=sql,
+            columns=self._columns_of((parent_table.name, display),
+                                     (child_table.name, filter_column)),
+            difficulty="hard", template="in_subquery",
+        )
+
+
+#: Pools re-exported for tests that check filterability assumptions.
+__all__ = ["WorkloadConfig", "WorkloadGenerator", "FILTERABLE_TEXT_POOLS"]

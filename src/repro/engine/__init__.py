@@ -1,0 +1,26 @@
+"""In-memory relational engine.
+
+The paper evaluates SQL generation with *execution accuracy* (EX): the result
+of a generated query is compared against the result of the gold query on the
+target database.  The original work executes against SQLite; this substrate
+provides the equivalent capability offline -- typed rows stored per table, a
+small set of relational operators, and result comparison semantics matching
+the EX metric (order-insensitive multiset comparison unless the query orders
+its output).
+"""
+
+from repro.engine.values import Value, coerce_value, compare_values
+from repro.engine.relation import Relation, Row
+from repro.engine.instance import DatabaseInstance, CatalogInstance
+from repro.engine.comparison import results_equivalent
+
+__all__ = [
+    "Value",
+    "coerce_value",
+    "compare_values",
+    "Relation",
+    "Row",
+    "DatabaseInstance",
+    "CatalogInstance",
+    "results_equivalent",
+]

@@ -1,0 +1,117 @@
+"""Database instances: schema plus stored rows.
+
+A :class:`DatabaseInstance` couples a :class:`repro.schema.Database` schema
+with the actual rows for each table, giving the SQL executor something to scan
+and the joinability heuristic something to measure value overlap on.  A
+:class:`CatalogInstance` is the collection of instances for a whole catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.engine.relation import Relation, Row
+from repro.engine.values import Value, coerce_value
+from repro.schema.catalog import Catalog
+from repro.schema.database import Database
+from repro.utils.text import normalize_identifier
+
+
+@dataclass
+class DatabaseInstance:
+    """Rows for every table of one database."""
+
+    schema: Database
+    tables: dict[str, list[Row]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in self.tables:
+            if not self.schema.has_table(name):
+                raise ValueError(f"rows supplied for unknown table {name!r}")
+        for table in self.schema.tables:
+            self.tables.setdefault(table.name, [])
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    # -- data loading ---------------------------------------------------------
+    def insert(self, table_name: str, values: Sequence[object]) -> None:
+        """Insert one row, coercing each value to its column type."""
+        table = self.schema.table(table_name)
+        if len(values) != len(table.columns):
+            raise ValueError(
+                f"table {table.name!r} expects {len(table.columns)} values, got {len(values)}"
+            )
+        row = tuple(
+            coerce_value(value, column.column_type)
+            for value, column in zip(values, table.columns)
+        )
+        self.tables[table.name].append(row)
+
+    def insert_many(self, table_name: str, rows: Iterable[Sequence[object]]) -> None:
+        for row in rows:
+            self.insert(table_name, row)
+
+    # -- access -----------------------------------------------------------------
+    def row_count(self, table_name: str) -> int:
+        return len(self.tables[normalize_identifier(table_name)])
+
+    def scan(self, table_name: str, alias: str | None = None) -> Relation:
+        """Return the table's rows as a relation with qualified column names."""
+        table = self.schema.table(table_name)
+        prefix = normalize_identifier(alias) if alias else table.name
+        columns = [f"{prefix}.{column.name}" for column in table.columns]
+        return Relation(columns, list(self.tables[table.name]))
+
+    def column_values(self) -> dict[str, dict[str, list[Value]]]:
+        """Mapping ``table -> column -> values`` for joinability detection."""
+        values: dict[str, dict[str, list[Value]]] = {}
+        for table in self.schema.tables:
+            rows = self.tables[table.name]
+            values[table.name] = {
+                column.name: [row[i] for row in rows]
+                for i, column in enumerate(table.columns)
+            }
+        return values
+
+
+@dataclass
+class CatalogInstance:
+    """Database instances for every database of a catalog."""
+
+    catalog: Catalog
+    instances: dict[str, DatabaseInstance] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in self.instances:
+            if not self.catalog.has_database(name):
+                raise ValueError(f"instance supplied for unknown database {name!r}")
+        for database in self.catalog:
+            self.instances.setdefault(database.name, DatabaseInstance(schema=database))
+
+    def instance(self, database_name: str) -> DatabaseInstance:
+        normalized = normalize_identifier(database_name)
+        try:
+            return self.instances[normalized]
+        except KeyError:
+            raise KeyError(f"no instance for database {normalized!r}") from None
+
+    def __iter__(self):
+        return iter(self.instances.values())
+
+    def total_rows(self) -> int:
+        return sum(
+            sum(len(rows) for rows in instance.tables.values()) for instance in self
+        )
+
+
+def instance_from_mapping(
+    schema: Database, data: Mapping[str, Iterable[Sequence[object]]]
+) -> DatabaseInstance:
+    """Convenience constructor: build an instance from ``{table: rows}``."""
+    instance = DatabaseInstance(schema=schema)
+    for table_name, rows in data.items():
+        instance.insert_many(table_name, rows)
+    return instance

@@ -1,0 +1,88 @@
+"""Ablation study (Table 7).
+
+Five ablations of the router are compared against the full system:
+
+* ``w/ BS``  -- basic (unordered) serialization instead of DFS serialization.
+* ``w/ OD``  -- trained on the original NL2SQL training data only (whose
+  databases are disjoint from the test databases, so generative retrieval
+  cannot generalise).
+* ``w/ MD``  -- trained on the mix of original and synthetic data.
+* ``w/o CD`` -- graph-constrained decoding disabled.
+* ``w/o DB`` -- diverse beam search replaced by ordinary beam search.
+"""
+
+from __future__ import annotations
+
+from repro.core import DBCopilotConfig, DBCopilot
+from repro.core.router import SchemaRouter
+from repro.core.synthesis import SyntheticExample
+from repro.experiments.context import CollectionContext
+from repro.experiments.routing import evaluate_method
+from repro.utils.tables import ResultTable
+
+
+def _original_examples(context: CollectionContext) -> list[SyntheticExample]:
+    return [
+        SyntheticExample(question=example.question, database=example.database,
+                         tables=example.tables)
+        for example in context.dataset.train_examples
+    ]
+
+
+def _train_variant(context: CollectionContext, serialization: str = "dfs",
+                   data: str = "synthetic") -> SchemaRouter:
+    """Train a router variant on the requested serialization / data mix."""
+    assert context.copilot is not None, "the full copilot must be built first"
+    config = context.copilot.config.router.ablated(serialization=serialization)
+    router = SchemaRouter(graph=context.copilot.graph, config=config)
+    synthetic = context.copilot.build_report.synthesis.examples \
+        if context.copilot.build_report.synthesis else []
+    if data == "synthetic":
+        examples = list(synthetic)
+    elif data == "original":
+        examples = _original_examples(context)
+    elif data == "mixed":
+        examples = list(synthetic) + _original_examples(context)
+    else:
+        raise ValueError(f"unknown data mix {data!r}")
+    router.fit(examples)
+    return router
+
+
+def ablation_table(context: CollectionContext, variant: str = "regular") -> ResultTable:
+    """Reproduce Table 7 (performance deltas against the full DBCopilot)."""
+    assert context.copilot is not None
+    examples = context.test_examples(variant)
+    table = ResultTable(
+        title=f"Table 7: ablation study on {context.name}",
+        columns=["variant", "db_R@1", "db_R@5", "tab_R@5", "tab_R@15"],
+    )
+
+    def add(name: str, predict) -> dict[str, float]:
+        scores = evaluate_method(predict, examples).as_row()
+        table.add_row(name, scores["db_recall@1"], scores["db_recall@5"],
+                      scores["table_recall@5"], scores["table_recall@15"])
+        return scores
+
+    add("DBCopilot (full)", context.copilot.predict)
+
+    basic = _train_variant(context, serialization="basic")
+    add("w/ BS (basic serialization)", basic.predict)
+
+    original = _train_variant(context, data="original")
+    add("w/ OD (original data only)", original.predict)
+
+    mixed = _train_variant(context, data="mixed")
+    add("w/ MD (mixed data)", mixed.predict)
+
+    # Decoding ablations reuse the fully trained router with altered settings.
+    full_router = context.copilot.router
+    original_config = full_router.config
+    try:
+        full_router.config = original_config.ablated(constrained_decoding=False)
+        add("w/o CD (no constrained decoding)", full_router.predict)
+        full_router.config = original_config.ablated(diverse_beam=False)
+        add("w/o DB (no diverse beam search)", full_router.predict)
+    finally:
+        full_router.config = original_config
+    return table

@@ -1,0 +1,51 @@
+"""Experiment-wide configuration.
+
+The paper trains T5-base on 1e5 synthetic pairs per collection on an A100;
+this reproduction targets CPU minutes.  ``ExperimentConfig`` captures the
+scaled-down defaults and can be grown via the ``REPRO_BENCH_SCALE``
+environment variable (``small`` | ``medium`` | ``large``) without touching the
+benchmark code.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.router import RouterConfig
+from repro.core.sampling import SamplerConfig
+from repro.core.synthesis import SynthesisConfig
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Sizes shared by every experiment harness."""
+
+    #: Number of test questions evaluated per dataset (None = all).
+    eval_limit: int | None = 120
+    #: Synthetic training pairs for the router.
+    synthetic_samples: int = 3000
+    #: Router training epochs.
+    router_epochs: int = 12
+    router: RouterConfig = field(default_factory=lambda: RouterConfig(beam_groups=5))
+    sampler: SamplerConfig = field(default_factory=SamplerConfig)
+    seed: int = 0
+
+    def router_config(self) -> RouterConfig:
+        return self.router.ablated(epochs=self.router_epochs)
+
+    def synthesis_config(self) -> SynthesisConfig:
+        return SynthesisConfig(num_samples=self.synthetic_samples)
+
+
+_PRESETS = {
+    "small": ExperimentConfig(eval_limit=120, synthetic_samples=3000, router_epochs=12),
+    "medium": ExperimentConfig(eval_limit=250, synthetic_samples=6000, router_epochs=16),
+    "large": ExperimentConfig(eval_limit=None, synthetic_samples=12000, router_epochs=20),
+}
+
+
+def default_config() -> ExperimentConfig:
+    """The preset selected by ``REPRO_BENCH_SCALE`` (default ``small``)."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    return _PRESETS.get(scale, _PRESETS["small"])

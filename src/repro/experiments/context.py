@@ -1,0 +1,172 @@
+"""Shared experiment context: datasets, baselines, and the trained copilot.
+
+Building a collection, indexing four baselines, fine-tuning DTR, and training
+the DBCopilot router is the expensive part of every experiment; the context
+caches all of it per (collection, config) so Tables 3/4/6/7 and Figures 7/9
+can share the work within one benchmark session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import DBCopilot, DBCopilotConfig
+from repro.datasets import (
+    BenchmarkDataset,
+    build_bird_like,
+    build_fiben_like,
+    build_spider_like,
+    make_realistic_variant,
+    make_synonym_variant,
+)
+from repro.datasets.examples import Example
+from repro.experiments.configs import ExperimentConfig, default_config
+from repro.retrieval import (
+    BM25Retriever,
+    ContrastiveTableRetriever,
+    CrushRetriever,
+    DenseRetriever,
+    SchemaRetriever,
+    build_table_documents,
+)
+from repro.retrieval.documents import DocumentCollection
+from repro.utils.timing import Stopwatch
+
+_BUILDERS = {
+    "spider_like": build_spider_like,
+    "bird_like": build_bird_like,
+    "fiben_like": build_fiben_like,
+}
+
+
+@dataclass
+class CollectionContext:
+    """Everything the experiments need for one database collection."""
+
+    name: str
+    config: ExperimentConfig
+    dataset: BenchmarkDataset
+    documents: DocumentCollection
+    baselines: dict[str, SchemaRetriever] = field(default_factory=dict)
+    copilot: DBCopilot | None = None
+    stopwatch: Stopwatch = field(default_factory=Stopwatch)
+    variants: dict[str, BenchmarkDataset] = field(default_factory=dict)
+
+    # -- evaluation splits ------------------------------------------------------
+    def test_examples(self, variant: str = "regular") -> list[Example]:
+        if variant == "regular":
+            examples = self.dataset.test_examples
+        else:
+            examples = self.variant(variant).test_examples
+        limit = self.config.eval_limit
+        return examples[:limit] if limit else examples
+
+    def variant(self, name: str) -> BenchmarkDataset:
+        if name not in self.variants:
+            if name == "syn":
+                self.variants[name] = make_synonym_variant(self.dataset)
+            elif name == "real":
+                self.variants[name] = make_realistic_variant(self.dataset)
+            else:
+                raise ValueError(f"unknown variant {name!r}")
+        return self.variants[name]
+
+    # -- synthetic pairs shared by fine-tuned baselines ---------------------------------
+    def synthetic_pairs(self) -> list[tuple[str, tuple[str, str]]]:
+        """(question, (database, table)) pairs from the copilot's synthetic data."""
+        if self.copilot is None or self.copilot.build_report.synthesis is None:
+            return []
+        pairs = []
+        for example in self.copilot.build_report.synthesis.examples:
+            for table in example.tables:
+                pairs.append((example.question, (example.database, table)))
+        return pairs
+
+    def synthetic_expansions(self) -> dict[tuple[str, str], list[str]]:
+        """Per-table synthetic question text used to 'fine-tune' BM25."""
+        expansions: dict[tuple[str, str], list[str]] = {}
+        for question, key in self.synthetic_pairs():
+            expansions.setdefault(key, []).append(question)
+        return expansions
+
+
+_CACHE: dict[tuple[str, int], CollectionContext] = {}
+
+
+def clear_context_cache() -> None:
+    _CACHE.clear()
+
+
+def get_context(collection: str = "spider_like", config: ExperimentConfig | None = None,
+                with_baselines: bool = True, with_copilot: bool = True) -> CollectionContext:
+    """Build (or fetch the cached) context for one collection."""
+    config = config or default_config()
+    key = (collection, id(config) if config not in (None,) else 0)
+    key = (collection, hash((config.eval_limit, config.synthetic_samples, config.router_epochs)))
+    context = _CACHE.get(key)
+    if context is None:
+        builder = _BUILDERS.get(collection)
+        if builder is None:
+            raise KeyError(f"unknown collection {collection!r}; options: {sorted(_BUILDERS)}")
+        dataset = builder()
+        documents = build_table_documents(dataset.catalog)
+        context = CollectionContext(name=collection, config=config, dataset=dataset,
+                                    documents=documents)
+        _CACHE[key] = context
+    if with_copilot and context.copilot is None:
+        with context.stopwatch.measure("copilot_build"):
+            context.copilot = DBCopilot.build(
+                context.dataset.catalog, context.dataset.instances,
+                train_examples=context.dataset.train_examples,
+                config=DBCopilotConfig(
+                    router=config.router_config(),
+                    sampler=config.sampler,
+                    synthesis=config.synthesis_config(),
+                    seed=config.seed,
+                ),
+            )
+    if with_baselines and not context.baselines:
+        _build_baselines(context)
+    return context
+
+
+def _build_baselines(context: CollectionContext) -> None:
+    """Index the zero-shot, LLM-enhanced, and fine-tuned baselines of §4.1.3."""
+    stopwatch = context.stopwatch
+    documents = context.documents
+
+    with stopwatch.measure("index_bm25"):
+        bm25 = BM25Retriever()
+        bm25.index(documents)
+    with stopwatch.measure("index_sxfmr"):
+        dense = DenseRetriever()
+        dense.index(documents)
+    with stopwatch.measure("index_crush_bm25"):
+        crush_bm25 = CrushRetriever(BM25Retriever())
+        crush_bm25.index(documents)
+    with stopwatch.measure("index_crush_sxfmr"):
+        crush_dense = CrushRetriever(DenseRetriever())
+        crush_dense.index(documents)
+
+    context.baselines = {
+        "bm25": bm25,
+        "sxfmr": dense,
+        "crush_bm25": crush_bm25,
+        "crush_sxfmr": crush_dense,
+    }
+
+    # Fine-tuned baselines use the same synthetic data as DBCopilot (§4.1.5).
+    expansions = context.synthetic_expansions()
+    if expansions:
+        with stopwatch.measure("finetune_bm25"):
+            tuned_bm25 = BM25Retriever()
+            tuned_bm25.name = "bm25_ft"
+            tuned_bm25.index(documents.expand(expansions))
+        context.baselines["bm25_ft"] = tuned_bm25
+    pairs = context.synthetic_pairs()
+    if pairs:
+        with stopwatch.measure("finetune_dtr"):
+            dtr = ContrastiveTableRetriever()
+            dtr.index(documents)
+            dtr.fine_tune(pairs[:4000])
+        context.baselines["dtr"] = dtr

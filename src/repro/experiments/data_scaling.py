@@ -1,0 +1,37 @@
+"""Synthetic-data scaling study (Figure 10)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.questioner import TemplateQuestioner
+from repro.core.router import SchemaRouter
+from repro.core.sampling import SchemaSampler
+from repro.core.synthesis import SynthesisConfig, synthesize_training_data
+from repro.experiments.context import CollectionContext
+from repro.experiments.routing import evaluate_method
+from repro.utils.tables import ResultTable
+
+
+def data_scaling_table(context: CollectionContext,
+                       sample_sizes: Sequence[int] = (500, 1000, 2000, 3000),
+                       ) -> ResultTable:
+    """Reproduce Figure 10: recall vs the amount of synthetic training data."""
+    assert context.copilot is not None
+    graph = context.copilot.graph
+    questioner = TemplateQuestioner(catalog=context.dataset.catalog,
+                                    seed=context.config.seed)
+    examples = context.test_examples()
+    table = ResultTable(
+        title=f"Figure 10: routing recall vs synthetic data volume ({context.name})",
+        columns=["num_synthetic", "db_R@1", "tab_R@5"],
+    )
+    for size in sample_sizes:
+        sampler = SchemaSampler(graph, config=context.config.sampler, seed=context.config.seed)
+        report = synthesize_training_data(sampler, questioner,
+                                          SynthesisConfig(num_samples=size))
+        router = SchemaRouter(graph=graph, config=context.copilot.config.router)
+        router.fit(report.examples)
+        scores = evaluate_method(router.predict, examples).as_row()
+        table.add_row(size, scores["db_recall@1"], scores["table_recall@5"])
+    return table

@@ -1,0 +1,72 @@
+"""Efficiency & resource consumption (Table 5)."""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments.context import CollectionContext
+from repro.experiments.routing import routing_methods
+from repro.utils.tables import ResultTable
+
+
+def _approximate_size_mb(retriever: object) -> float:
+    """Rough persistent-size estimate of a method's index/model in megabytes."""
+    total_bytes = 0
+    seen: set[int] = set()
+    stack = [retriever]
+    while stack:
+        value = stack.pop()
+        if id(value) in seen:
+            continue
+        seen.add(id(value))
+        if hasattr(value, "nbytes"):
+            total_bytes += int(value.nbytes)
+            continue
+        total_bytes += sys.getsizeof(value, 0)
+        if hasattr(value, "__dict__"):
+            stack.extend(vars(value).values())
+        elif isinstance(value, dict):
+            stack.extend(value.keys())
+            stack.extend(value.values())
+        elif isinstance(value, (list, tuple, set)):
+            stack.extend(list(value)[:10000])
+    return total_bytes / (1024 * 1024)
+
+
+def efficiency_table(context: CollectionContext, num_queries: int = 60) -> ResultTable:
+    """Reproduce Table 5: QPS, build time, and index size per routing method.
+
+    GPU memory is not applicable on the numpy substrate and is reported as the
+    model's parameter memory for DBCopilot ("-" for index-based methods).
+    """
+    table = ResultTable(
+        title="Table 5: method efficiency and resource consumption",
+        columns=["method", "QPS", "build_s", "size_MB", "model_params"],
+    )
+    methods = routing_methods(context)
+    examples = context.test_examples()[:num_queries]
+    build_times = {
+        "bm25": context.stopwatch.total("index_bm25"),
+        "sxfmr": context.stopwatch.total("index_sxfmr"),
+        "crush_bm25": context.stopwatch.total("index_crush_bm25"),
+        "crush_sxfmr": context.stopwatch.total("index_crush_sxfmr"),
+        "bm25_ft": context.stopwatch.total("index_bm25") + context.stopwatch.total("finetune_bm25"),
+        "dtr": context.stopwatch.total("finetune_dtr"),
+        "dbcopilot": context.stopwatch.total("copilot_build"),
+    }
+    for name, predict in methods.items():
+        start = time.perf_counter()
+        for example in examples:
+            predict(example.question)
+        elapsed = max(time.perf_counter() - start, 1e-9)
+        qps = len(examples) / elapsed
+        if name == "dbcopilot" and context.copilot is not None:
+            size = context.copilot.router.num_parameters() * 8 / (1024 * 1024)
+            parameters = context.copilot.router.num_parameters()
+        else:
+            size = _approximate_size_mb(context.baselines[name])
+            parameters = 0
+        table.add_row(name, round(qps, 1), round(build_times.get(name, 0.0), 1),
+                      round(size, 2), parameters)
+    return table

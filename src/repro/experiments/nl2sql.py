@@ -1,0 +1,101 @@
+"""Schema-agnostic NL2SQL evaluation (Table 6)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.context import CollectionContext
+from repro.llm import (
+    Nl2SqlEvaluation,
+    OracleSchemaProvider,
+    PromptStrategy,
+    SchemaAgnosticNL2SQL,
+    SimulatedLLM,
+)
+from repro.utils.tables import ResultTable
+
+#: Routing methods compared for end-to-end NL2SQL (a sparse, a dense, and ours,
+#: mirroring the paper's choice of CRUSH_BM25, DTR, and DBCopilot).
+NL2SQL_METHODS = ("crush_bm25", "dtr", "dbcopilot")
+
+
+def _pipeline(context: CollectionContext, strategy: PromptStrategy,
+              router=None) -> SchemaAgnosticNL2SQL:
+    llm = SimulatedLLM(catalog=context.dataset.catalog)
+    return SchemaAgnosticNL2SQL(context.dataset.catalog, context.dataset.instances, llm,
+                                router=router, strategy=strategy)
+
+
+def oracle_rows(context: CollectionContext, examples=None) -> list[tuple[str, Nl2SqlEvaluation]]:
+    """The four oracle (upper bound) rows of Table 6."""
+    examples = examples if examples is not None else context.test_examples()
+    oracle = OracleSchemaProvider(context.dataset.catalog)
+    rows: list[tuple[str, Nl2SqlEvaluation]] = []
+
+    def evaluate(label: str, answer) -> None:
+        pipeline = _pipeline(context, PromptStrategy.BEST_SCHEMA)
+        evaluation = Nl2SqlEvaluation()
+        for example in examples:
+            result = answer(pipeline, example)
+            evaluation.results.append(result)
+            evaluation.total_cost += result.cost
+        rows.append((label, evaluation))
+
+    evaluate("Gold T. & C.", lambda pipeline, example: pipeline.answer_with_schema(
+        example, *oracle.gold_tables_and_columns(example)[:2],
+        oracle.gold_tables_and_columns(example)[2]))
+    evaluate("Gold T.", lambda pipeline, example: pipeline.answer_with_schema(
+        example, *oracle.gold_tables(example)))
+    evaluate("Gold DB", lambda pipeline, example: pipeline.answer_with_schema(
+        example, *oracle.gold_database(example)))
+    evaluate("5 DB w. Gold", lambda pipeline, example: pipeline.answer_with_candidates(
+        example, oracle.five_databases(example)))
+    return rows
+
+
+def strategy_rows(context: CollectionContext, strategy: PromptStrategy,
+                  methods: Sequence[str] = NL2SQL_METHODS,
+                  examples=None) -> list[tuple[str, Nl2SqlEvaluation]]:
+    """EX / cost rows for one prompt strategy across routing methods."""
+    from repro.experiments.routing import routing_methods
+
+    examples = examples if examples is not None else context.test_examples()
+    available = routing_methods(context)
+    rows: list[tuple[str, Nl2SqlEvaluation]] = []
+    for name in methods:
+        router = available.get(name)
+        if router is None:
+            continue
+        pipeline = _pipeline(context, strategy, router=router)
+        evaluation = Nl2SqlEvaluation()
+        for example in examples:
+            result = pipeline.answer(example)
+            evaluation.results.append(result)
+            evaluation.total_cost += result.cost
+        rows.append((name, evaluation))
+    return rows
+
+
+def nl2sql_table(context: CollectionContext, examples=None,
+                 include_oracle: bool = True) -> ResultTable:
+    """Reproduce Table 6 for one collection."""
+    table = ResultTable(
+        title=f"Table 6: schema-agnostic NL2SQL on {context.name}",
+        columns=["section", "method", "EX", "cost_usd"],
+    )
+    examples = examples if examples is not None else context.test_examples()
+    if include_oracle:
+        for label, evaluation in oracle_rows(context, examples):
+            row = evaluation.as_row()
+            table.add_row("Oracle", label, row["EX"], f"{row['cost']:.4f}")
+    sections = (
+        ("Best Schema Prompting", PromptStrategy.BEST_SCHEMA),
+        ("Multiple Schema Prompting", PromptStrategy.MULTIPLE_SCHEMA),
+        ("Multiple Schema COT Prompting", PromptStrategy.MULTIPLE_SCHEMA_COT),
+        ("Human in the Loop", PromptStrategy.HUMAN_IN_THE_LOOP),
+    )
+    for section, strategy in sections:
+        for name, evaluation in strategy_rows(context, strategy, examples=examples):
+            row = evaluation.as_row()
+            table.add_row(section, name, row["EX"], f"{row['cost']:.4f}")
+    return table

@@ -1,0 +1,142 @@
+"""Schema-routing experiments: Tables 3 & 4 and Figure 7."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from statistics import mean
+from typing import Callable, Sequence
+
+from repro.datasets.examples import Example
+from repro.experiments.context import CollectionContext
+from repro.retrieval import RoutingScores, evaluate_routing
+from repro.retrieval.base import RoutingPrediction
+from repro.retrieval.metrics import mean_average_precision, table_recall_at_k
+from repro.utils.tables import ResultTable
+
+#: The method order of the paper's Tables 3 and 4.
+METHOD_ORDER = ("bm25", "sxfmr", "crush_bm25", "crush_sxfmr", "bm25_ft", "dtr", "dbcopilot")
+
+
+def routing_methods(context: CollectionContext) -> dict[str, Callable[[str], RoutingPrediction]]:
+    """Name -> routing callable for every compared method."""
+    methods: dict[str, Callable[[str], RoutingPrediction]] = {}
+    for name, retriever in context.baselines.items():
+        methods[name] = retriever.route
+    if context.copilot is not None:
+        methods["dbcopilot"] = context.copilot.predict
+    return methods
+
+
+def evaluate_method(predict: Callable[[str], RoutingPrediction],
+                    examples: Sequence[Example]) -> RoutingScores:
+    predictions = [predict(example.question) for example in examples]
+    return evaluate_routing(predictions,
+                            [example.database for example in examples],
+                            [example.tables for example in examples])
+
+
+def routing_table(contexts: Sequence[CollectionContext], variant: str = "regular",
+                  title: str = "Table 3: schema routing on regular test sets") -> ResultTable:
+    """Reproduce Table 3 (``variant='regular'``) or Table 4 (syn / real)."""
+    columns = ["method"]
+    for context in contexts:
+        columns.extend([
+            f"{context.name}_db_R@1", f"{context.name}_db_R@5",
+            f"{context.name}_tab_R@5", f"{context.name}_tab_R@15",
+        ])
+    table = ResultTable(title=title, columns=columns)
+    scores_by_method: dict[str, list[RoutingScores]] = defaultdict(list)
+    for context in contexts:
+        methods = routing_methods(context)
+        examples = context.test_examples(variant)
+        for name in METHOD_ORDER:
+            if name not in methods:
+                continue
+            scores_by_method[name].append(evaluate_method(methods[name], examples))
+    for name in METHOD_ORDER:
+        if name not in scores_by_method:
+            continue
+        row: list[object] = [name]
+        for scores in scores_by_method[name]:
+            summary = scores.as_row()
+            row.extend([summary["db_recall@1"], summary["db_recall@5"],
+                        summary["table_recall@5"], summary["table_recall@15"]])
+        table.add_row(*row)
+    return table
+
+
+def robustness_table(context: CollectionContext) -> ResultTable:
+    """Table 4: routing on the Spider-syn / Spider-real analogues."""
+    table = ResultTable(
+        title="Table 4: schema routing on robustness tests",
+        columns=["method", "syn_db_R@1", "syn_db_R@5", "syn_tab_R@5", "syn_tab_R@15",
+                 "real_db_R@1", "real_db_R@5", "real_tab_R@5", "real_tab_R@15"],
+    )
+    methods = routing_methods(context)
+    syn_examples = context.test_examples("syn")
+    real_examples = context.test_examples("real")
+    for name in METHOD_ORDER:
+        if name not in methods:
+            continue
+        syn = evaluate_method(methods[name], syn_examples).as_row()
+        real = evaluate_method(methods[name], real_examples).as_row()
+        table.add_row(name, syn["db_recall@1"], syn["db_recall@5"], syn["table_recall@5"],
+                      syn["table_recall@15"], real["db_recall@1"], real["db_recall@5"],
+                      real["table_recall@5"], real["table_recall@15"])
+    return table
+
+
+# -- Figure 7 ---------------------------------------------------------------------
+
+def map_by_database_size(context: CollectionContext, variant: str = "regular",
+                         buckets: Sequence[tuple[int, int]] = ((2, 4), (5, 7), (8, 10), (11, 99)),
+                         ) -> ResultTable:
+    """Figure 7a: table mAP bucketed by the size of the gold database."""
+    methods = routing_methods(context)
+    examples = context.test_examples(variant)
+    size_of = {database.name: database.num_tables for database in context.dataset.catalog}
+    table = ResultTable(
+        title="Figure 7a: table mAP by gold-database size (number of tables)",
+        columns=["method"] + [f"{low}-{high if high < 99 else '+'}" for low, high in buckets],
+    )
+    predictions_cache: dict[str, list[RoutingPrediction]] = {
+        name: [methods[name](example.question) for example in examples]
+        for name in METHOD_ORDER if name in methods
+    }
+    for name in METHOD_ORDER:
+        if name not in predictions_cache:
+            continue
+        row: list[object] = [name]
+        for low, high in buckets:
+            values = [
+                mean_average_precision(prediction, example.database, example.tables)
+                for prediction, example in zip(predictions_cache[name], examples)
+                if low <= size_of.get(example.database, 0) <= high
+            ]
+            row.append(round(100.0 * mean(values), 2) if values else "-")
+        table.add_row(*row)
+    return table
+
+
+def recall_at_k_curve(context: CollectionContext, variant: str = "regular",
+                      ks: Sequence[int] = (1, 5, 10, 20, 30, 50)) -> ResultTable:
+    """Figure 7b: table recall@k as the number of retrieved tables grows."""
+    methods = routing_methods(context)
+    examples = context.test_examples(variant)
+    table = ResultTable(
+        title="Figure 7b: table recall@k vs number of retrieved tables",
+        columns=["method"] + [f"R@{k}" for k in ks],
+    )
+    for name in METHOD_ORDER:
+        if name not in methods:
+            continue
+        predictions = [methods[name](example.question) for example in examples]
+        row: list[object] = [name]
+        for k in ks:
+            value = mean(
+                table_recall_at_k(prediction, example.database, example.tables, k)
+                for prediction, example in zip(predictions, examples)
+            )
+            row.append(round(100.0 * value, 2))
+        table.add_row(*row)
+    return table

@@ -1,0 +1,53 @@
+"""SQL generation with a (simulated) large language model.
+
+The paper's second stage prompts ``gpt-3.5-turbo`` with the routed schema and
+the question to produce SQL (§3.6), exploring three prompt strategies plus a
+human-in-the-loop variant, and reports execution accuracy (EX) and invocation
+cost.  No commercial LLM is reachable offline, so :class:`SimulatedLLM`
+substitutes a deterministic heuristic NL2SQL generator whose behaviour
+preserves the two sensitivities the paper's Table 6 measures:
+
+* accuracy falls when the prompted schema misses tables the query needs;
+* accuracy falls (and cost rises) as extraneous schema elements are added.
+
+Everything else -- prompt construction, candidate-schema selection, the cost
+model, execution-accuracy evaluation -- is implemented as in the paper.
+"""
+
+from repro.llm.cost import CostModel, count_tokens
+from repro.llm.prompts import (
+    PromptStrategy,
+    SchemaPrompt,
+    render_schema_block,
+    build_best_schema_prompt,
+    build_multiple_schema_prompt,
+    build_cot_selection_prompt,
+)
+from repro.llm.sqlgen import HeuristicSqlGenerator
+from repro.llm.client import LlmResponse, SimulatedLLM
+from repro.llm.pipeline import (
+    GenerationResult,
+    Nl2SqlEvaluation,
+    SchemaAgnosticNL2SQL,
+    evaluate_nl2sql,
+)
+from repro.llm.oracle import OracleSchemaProvider
+
+__all__ = [
+    "CostModel",
+    "count_tokens",
+    "PromptStrategy",
+    "SchemaPrompt",
+    "render_schema_block",
+    "build_best_schema_prompt",
+    "build_multiple_schema_prompt",
+    "build_cot_selection_prompt",
+    "HeuristicSqlGenerator",
+    "LlmResponse",
+    "SimulatedLLM",
+    "GenerationResult",
+    "Nl2SqlEvaluation",
+    "SchemaAgnosticNL2SQL",
+    "evaluate_nl2sql",
+    "OracleSchemaProvider",
+]

@@ -1,0 +1,36 @@
+"""LLM invocation cost model.
+
+The paper reports the dollar cost of LLM calls alongside execution accuracy
+(Table 6).  The cost model here uses the public ``gpt-3.5-turbo-0125`` prices
+and a simple word-based token estimate, so that prompt strategies that send
+more schema text cost proportionally more -- the effect the oracle test
+demonstrates when moving from gold columns to five full database schemata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Approximate tokens per whitespace-separated word for English + SQL text.
+_TOKENS_PER_WORD = 1.35
+
+
+def count_tokens(text: str) -> int:
+    """Estimate the number of model tokens in ``text``."""
+    words = len(text.split())
+    return int(round(words * _TOKENS_PER_WORD))
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-token pricing (USD per 1K tokens), defaulting to gpt-3.5-turbo-0125."""
+
+    input_price_per_1k: float = 0.0005
+    output_price_per_1k: float = 0.0015
+
+    def cost(self, input_tokens: int, output_tokens: int) -> float:
+        return (input_tokens * self.input_price_per_1k
+                + output_tokens * self.output_price_per_1k) / 1000.0
+
+    def cost_of_call(self, prompt: str, completion: str) -> float:
+        return self.cost(count_tokens(prompt), count_tokens(completion))

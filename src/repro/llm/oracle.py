@@ -1,0 +1,58 @@
+"""Oracle schema providers for the upper-bound tests of Table 6.
+
+The oracle test feeds the LLM progressively smaller gold schemata: five
+database schemata including the gold one, the gold database, the gold tables,
+and finally the gold tables restricted to the gold columns.  Each level is a
+"schema provider" returning the candidate schema(ta) to prompt with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.examples import Example
+from repro.schema.catalog import Catalog
+from repro.utils.rng import SeededRng
+
+
+@dataclass
+class OracleSchemaProvider:
+    """Builds the four oracle prompting configurations for an example."""
+
+    catalog: Catalog
+    seed: int = 0
+
+    def gold_tables_and_columns(self, example: Example) -> tuple[str, list[str], dict[str, list[str]]]:
+        """Gold tables restricted to the gold columns ("Gold T. & C.")."""
+        columns_filter: dict[str, list[str]] = {}
+        for qualified in example.columns:
+            table, _, column = qualified.partition(".")
+            columns_filter.setdefault(table, []).append(column)
+        # Primary/foreign keys are always kept so joins remain expressible.
+        database = self.catalog.database(example.database)
+        for table_name in example.tables:
+            if not database.has_table(table_name):
+                continue
+            keys = [column.name for column in database.table(table_name).columns
+                    if column.is_primary_key or column.name.endswith("_id")]
+            columns_filter.setdefault(table_name, [])
+            columns_filter[table_name].extend(keys)
+        return example.database, list(example.tables), columns_filter
+
+    def gold_tables(self, example: Example) -> tuple[str, list[str]]:
+        """Gold tables with all their columns ("Gold T.")."""
+        return example.database, list(example.tables)
+
+    def gold_database(self, example: Example) -> tuple[str, list[str]]:
+        """The whole gold database schema ("Gold DB")."""
+        database = self.catalog.database(example.database)
+        return example.database, database.table_names
+
+    def five_databases(self, example: Example) -> list[tuple[str, list[str]]]:
+        """Five full database schemata, the gold one included ("5 DB w. Gold")."""
+        rng = SeededRng(self.seed).child(example.question)
+        others = [name for name in self.catalog.database_names if name != example.database]
+        distractors = rng.sample(others, min(4, len(others)))
+        names = [example.database] + distractors
+        rng.shuffle(names)
+        return [(name, self.catalog.database(name).table_names) for name in names]

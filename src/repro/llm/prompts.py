@@ -1,0 +1,114 @@
+"""Prompt construction for LLM-based SQL generation (paper §3.6).
+
+Three strategies are reproduced:
+
+* **Best schema prompting** (Figure 5): the single highest-probability schema
+  is rendered as ``table(columns)`` lines above the question.
+* **Multiple schema prompting**: the table blocks of several candidate
+  schemata are concatenated in one prompt.
+* **Multiple schema chain-of-thought prompting** (Figure 6): a first turn asks
+  the model to select the most relevant candidate schema, a second turn fills
+  the basic prompt with the selected schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+from repro.schema.database import Database
+
+
+class PromptStrategy(str, Enum):
+    """The candidate-schema incorporation strategies compared in Table 6."""
+
+    BEST_SCHEMA = "best_schema"
+    MULTIPLE_SCHEMA = "multiple_schema"
+    MULTIPLE_SCHEMA_COT = "multiple_schema_cot"
+    HUMAN_IN_THE_LOOP = "human_in_the_loop"
+
+
+@dataclass(frozen=True)
+class SchemaPrompt:
+    """A rendered prompt plus the structured schema it was built from."""
+
+    text: str
+    database: str
+    tables: tuple[str, ...]
+
+
+def render_schema_block(database: Database, tables: Sequence[str],
+                        columns_filter: dict[str, Sequence[str]] | None = None) -> str:
+    """Render ``table(col, col, ...)`` lines for the prompted tables.
+
+    ``columns_filter`` optionally restricts the columns listed for a table
+    (used by the gold-columns oracle test).
+    """
+    lines = []
+    for table_name in tables:
+        if not database.has_table(table_name):
+            continue
+        table = database.table(table_name)
+        if columns_filter and table_name in columns_filter:
+            wanted = set(columns_filter[table_name])
+            column_names = [column.name for column in table.columns if column.name in wanted]
+            if not column_names:
+                column_names = table.column_names
+        else:
+            column_names = table.column_names
+        lines.append(f"# {table_name}({', '.join(column_names)})")
+    return "\n".join(lines)
+
+
+_BASIC_TEMPLATE = (
+    "### Complete sqlite SQL query only and with no explanation\n"
+    "### Sqlite SQL tables, with their properties:\n"
+    "#\n"
+    "{schema_block}\n"
+    "#\n"
+    "### {question}\n"
+    "SELECT"
+)
+
+
+def build_best_schema_prompt(database: Database, tables: Sequence[str], question: str,
+                             columns_filter: dict[str, Sequence[str]] | None = None) -> SchemaPrompt:
+    """The basic prompt of Figure 5 filled with one candidate schema."""
+    schema_block = render_schema_block(database, tables, columns_filter)
+    text = _BASIC_TEMPLATE.format(schema_block=schema_block, question=question)
+    return SchemaPrompt(text=text, database=database.name, tables=tuple(tables))
+
+
+def build_multiple_schema_prompt(candidates: Sequence[tuple[Database, Sequence[str]]],
+                                 question: str) -> SchemaPrompt:
+    """One prompt concatenating the table blocks of several candidate schemata."""
+    blocks = []
+    all_tables: list[str] = []
+    for database, tables in candidates:
+        blocks.append(render_schema_block(database, tables))
+        all_tables.extend(f"{database.name}.{table}" for table in tables)
+    text = _BASIC_TEMPLATE.format(schema_block="\n".join(blocks), question=question)
+    primary = candidates[0][0].name if candidates else ""
+    return SchemaPrompt(text=text, database=primary, tables=tuple(all_tables))
+
+
+_COT_TEMPLATE = (
+    "Based on the provided natural language question, find the database that can best answer\n"
+    "this question from the list of schemata below. Only output the corresponding database\n"
+    "schema identifier in the [id] format, without any additional information.\n"
+    "Question: {question}\n"
+    "Sqlite SQL databases, with their tables and properties:\n"
+    "{candidate_blocks}\n"
+)
+
+
+def build_cot_selection_prompt(candidates: Sequence[tuple[Database, Sequence[str]]],
+                               question: str) -> str:
+    """Turn 1 of the chain-of-thought strategy (Figure 6): pick a schema id."""
+    blocks = []
+    for index, (database, tables) in enumerate(candidates, start=1):
+        block = render_schema_block(database, tables)
+        indented = "\n".join("  " + line.lstrip("# ") for line in block.splitlines())
+        blocks.append(f"[{index}] {database.name}\n{indented}")
+    return _COT_TEMPLATE.format(question=question, candidate_blocks="\n".join(blocks))

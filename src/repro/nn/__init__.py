@@ -1,0 +1,54 @@
+"""Neural-network substrate.
+
+The paper's schema router and schema questioner are T5-base Seq2Seq models
+fine-tuned with HF transformers on GPUs.  Neither the library nor the hardware
+is available offline, so this package provides a from-scratch substitute: a
+small reverse-mode autodiff engine over numpy arrays (:mod:`repro.nn.autograd`),
+basic modules (:mod:`repro.nn.modules`), an attention-based encoder-decoder
+(:mod:`repro.nn.seq2seq`), AdamW with a linear schedule (:mod:`repro.nn.optim`),
+a word-level tokenizer (:mod:`repro.nn.tokenizer`), batching utilities, a
+trainer, and greedy / beam / diverse-beam decoding with pluggable constraints
+(:mod:`repro.nn.decoding`).
+
+The substitution preserves what matters for the reproduction: the router is a
+parameterised Seq2Seq model that memorises serialized schemata and decodes
+them autoregressively under graph constraints, exactly as the paper's DSI
+does -- only smaller.
+"""
+
+from repro.nn.autograd import Tensor
+from repro.nn.modules import Embedding, Linear, Module, Parameter
+from repro.nn.tokenizer import SpecialTokens, Vocabulary, WordTokenizer
+from repro.nn.seq2seq import Seq2SeqConfig, Seq2SeqModel
+from repro.nn.optim import AdamW, LinearSchedule
+from repro.nn.data import Batch, pad_batch
+from repro.nn.trainer import Seq2SeqTrainer, TrainerConfig
+from repro.nn.decoding import (
+    BeamHypothesis,
+    beam_search,
+    diverse_beam_search,
+    greedy_decode,
+)
+
+__all__ = [
+    "Tensor",
+    "Embedding",
+    "Linear",
+    "Module",
+    "Parameter",
+    "SpecialTokens",
+    "Vocabulary",
+    "WordTokenizer",
+    "Seq2SeqConfig",
+    "Seq2SeqModel",
+    "AdamW",
+    "LinearSchedule",
+    "Batch",
+    "pad_batch",
+    "Seq2SeqTrainer",
+    "TrainerConfig",
+    "BeamHypothesis",
+    "beam_search",
+    "diverse_beam_search",
+    "greedy_decode",
+]

@@ -1,0 +1,55 @@
+"""Batching utilities for Seq2Seq training."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass
+class Batch:
+    """One padded training batch."""
+
+    source_ids: np.ndarray    # (B, T_src) int64
+    source_mask: np.ndarray   # (B, T_src) float64, 1 for real tokens
+    target_ids: np.ndarray    # (B, T_tgt) int64, starts with BOS, ends with EOS
+    target_mask: np.ndarray   # (B, T_tgt) float64
+
+    @property
+    def size(self) -> int:
+        return int(self.source_ids.shape[0])
+
+
+def _pad(sequences: Sequence[Sequence[int]], pad_id: int) -> tuple[np.ndarray, np.ndarray]:
+    max_length = max((len(sequence) for sequence in sequences), default=1)
+    max_length = max(max_length, 1)
+    ids = np.full((len(sequences), max_length), pad_id, dtype=np.int64)
+    mask = np.zeros((len(sequences), max_length), dtype=np.float64)
+    for row, sequence in enumerate(sequences):
+        length = len(sequence)
+        if length:
+            ids[row, :length] = sequence
+            mask[row, :length] = 1.0
+    return ids, mask
+
+
+def pad_batch(pairs: Sequence[tuple[Sequence[int], Sequence[int]]], pad_id: int) -> Batch:
+    """Pad a list of ``(source_ids, target_ids)`` pairs into a :class:`Batch`."""
+    if not pairs:
+        raise ValueError("cannot build an empty batch")
+    source_ids, source_mask = _pad([pair[0] for pair in pairs], pad_id)
+    target_ids, target_mask = _pad([pair[1] for pair in pairs], pad_id)
+    return Batch(source_ids=source_ids, source_mask=source_mask,
+                 target_ids=target_ids, target_mask=target_mask)
+
+
+def iterate_batches(pairs: Sequence[tuple[Sequence[int], Sequence[int]]], batch_size: int,
+                    pad_id: int, order: Sequence[int] | None = None):
+    """Yield :class:`Batch` objects covering ``pairs`` in ``order``."""
+    indices = list(order) if order is not None else list(range(len(pairs)))
+    for start in range(0, len(indices), batch_size):
+        chunk = [pairs[index] for index in indices[start:start + batch_size]]
+        if chunk:
+            yield pad_batch(chunk, pad_id)

@@ -1,0 +1,193 @@
+"""Decoding strategies: greedy, beam search, and diverse beam search.
+
+All strategies accept an optional *constraint* callback mapping the decoded
+prefix (token ids, excluding BOS) to the set of token ids allowed next.  The
+DBCopilot router plugs its graph-based prefix-trie constraint in here
+(paper §3.5); passing ``None`` decodes unconstrained.
+
+Diverse beam search follows Vijayakumar et al. (2016), the algorithm the paper
+uses to obtain varied candidate schemata: beams are split into groups, groups
+are expanded sequentially at each step, and a token already chosen by an
+earlier group at the same step is penalised for later groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.seq2seq import EncodedSource, Seq2SeqModel
+
+#: A constraint maps the decoded prefix to the allowed next token ids
+#: (an empty collection means "only EOS is allowed").
+Constraint = Callable[[Sequence[int]], "set[int] | None"]
+
+
+@dataclass
+class BeamHypothesis:
+    """A finished (or in-progress) decoded sequence."""
+
+    tokens: list[int]
+    score: float
+    finished: bool = False
+
+    def normalized_score(self, length_penalty: float = 0.0) -> float:
+        """Length-normalised score; ``length_penalty=0`` returns the raw sum."""
+        if length_penalty <= 0.0:
+            return self.score
+        length = max(len(self.tokens), 1)
+        return self.score / (length ** length_penalty)
+
+
+@dataclass
+class _Beam:
+    tokens: list[int] = field(default_factory=list)
+    score: float = 0.0
+    state: np.ndarray | None = None
+    finished: bool = False
+
+
+def _masked_log_probabilities(log_probabilities: np.ndarray, prefix: Sequence[int],
+                              constraint: Constraint | None, eos_id: int) -> np.ndarray:
+    """Apply the constraint by setting disallowed token log-probs to -inf."""
+    if constraint is None:
+        return log_probabilities
+    allowed = constraint(prefix)
+    if allowed is None:
+        return log_probabilities
+    masked = np.full_like(log_probabilities, -np.inf)
+    allowed_ids = {int(token) for token in allowed}
+    if not allowed_ids:
+        allowed_ids = {eos_id}
+    indices = [token for token in allowed_ids if 0 <= token < log_probabilities.shape[0]]
+    masked[indices] = log_probabilities[indices]
+    return masked
+
+
+def greedy_decode(model: Seq2SeqModel, source_ids: Sequence[int], bos_id: int, eos_id: int,
+                  max_length: int = 48, constraint: Constraint | None = None) -> BeamHypothesis:
+    """Greedy decoding; returns a single hypothesis (without BOS/EOS tokens)."""
+    encoded = model.encode_numpy(list(source_ids))
+    state = encoded.state
+    previous = bos_id
+    tokens: list[int] = []
+    score = 0.0
+    for _ in range(max_length):
+        log_probabilities, state = model.decode_step_numpy(encoded, state, previous)
+        log_probabilities = _masked_log_probabilities(log_probabilities, tokens, constraint, eos_id)
+        previous = int(np.argmax(log_probabilities))
+        score += float(log_probabilities[previous])
+        if previous == eos_id:
+            return BeamHypothesis(tokens=tokens, score=score, finished=True)
+        tokens.append(previous)
+    return BeamHypothesis(tokens=tokens, score=score, finished=False)
+
+
+def beam_search(model: Seq2SeqModel, source_ids: Sequence[int], bos_id: int, eos_id: int,
+                beam_size: int = 5, max_length: int = 48,
+                constraint: Constraint | None = None,
+                length_penalty: float = 0.0) -> list[BeamHypothesis]:
+    """Standard beam search; returns up to ``beam_size`` finished hypotheses."""
+    return diverse_beam_search(
+        model, source_ids, bos_id, eos_id,
+        num_beams=beam_size, num_groups=1, diversity_penalty=0.0,
+        max_length=max_length, constraint=constraint, length_penalty=length_penalty,
+    )
+
+
+def diverse_beam_search(model: Seq2SeqModel, source_ids: Sequence[int], bos_id: int, eos_id: int,
+                        num_beams: int = 10, num_groups: int = 10,
+                        diversity_penalty: float = 2.0, max_length: int = 48,
+                        constraint: Constraint | None = None,
+                        length_penalty: float = 0.0) -> list[BeamHypothesis]:
+    """Diverse (group) beam search.
+
+    ``num_beams`` must be divisible by ``num_groups``; the paper uses 10 beams
+    in 10 groups with a diversity penalty of 2.0 (§4.1.5).
+    """
+    if num_beams <= 0:
+        raise ValueError("num_beams must be positive")
+    if num_groups <= 0 or num_beams % num_groups != 0:
+        raise ValueError("num_beams must be a positive multiple of num_groups")
+    beams_per_group = num_beams // num_groups
+
+    encoded = model.encode_numpy(list(source_ids))
+    groups: list[list[_Beam]] = [
+        [_Beam(state=encoded.state.copy())] for _ in range(num_groups)
+    ]
+    finished: list[BeamHypothesis] = []
+
+    for _ in range(max_length):
+        tokens_chosen_this_step: dict[int, int] = {}
+        any_active = False
+        for group_index, group in enumerate(groups):
+            candidates: list[_Beam] = []
+            for beam in group:
+                if beam.finished:
+                    candidates.append(beam)
+                    continue
+                any_active = True
+                previous = beam.tokens[-1] if beam.tokens else bos_id
+                log_probabilities, new_state = model.decode_step_numpy(
+                    encoded, beam.state, previous)
+                log_probabilities = _masked_log_probabilities(
+                    log_probabilities, beam.tokens, constraint, eos_id)
+                # Hamming diversity: penalise tokens already emitted by earlier
+                # groups at this time step.
+                if diversity_penalty > 0.0 and tokens_chosen_this_step:
+                    penalised = log_probabilities.copy()
+                    for token, count in tokens_chosen_this_step.items():
+                        penalised[token] -= diversity_penalty * count
+                    scored = penalised
+                else:
+                    scored = log_probabilities
+                top = np.argsort(scored)[::-1][: max(beams_per_group * 2, 2)]
+                for token in top:
+                    token = int(token)
+                    if not np.isfinite(log_probabilities[token]):
+                        continue
+                    candidate = _Beam(
+                        tokens=beam.tokens + [token],
+                        # Score with the *unpenalised* log-probability: the
+                        # penalty only shapes the search, not the ranking.
+                        score=beam.score + float(log_probabilities[token]),
+                        state=new_state,
+                        finished=(token == eos_id),
+                    )
+                    candidates.append(candidate)
+            if not candidates:
+                continue
+            candidates.sort(key=lambda beam: beam.score, reverse=True)
+            selected: list[_Beam] = []
+            for candidate in candidates:
+                if len(selected) >= beams_per_group:
+                    break
+                selected.append(candidate)
+                if not candidate.finished and candidate.tokens:
+                    token = candidate.tokens[-1]
+                    tokens_chosen_this_step[token] = tokens_chosen_this_step.get(token, 0) + 1
+            groups[group_index] = selected
+        if not any_active:
+            break
+
+    for group in groups:
+        for beam in group:
+            tokens = beam.tokens
+            if tokens and tokens[-1] == eos_id:
+                tokens = tokens[:-1]
+            finished.append(BeamHypothesis(tokens=tokens, score=beam.score,
+                                           finished=beam.finished))
+    finished.sort(key=lambda hypothesis: hypothesis.normalized_score(length_penalty),
+                  reverse=True)
+    # Deduplicate identical token sequences, keeping the best-scored copy.
+    unique: list[BeamHypothesis] = []
+    seen: set[tuple[int, ...]] = set()
+    for hypothesis in finished:
+        key = tuple(hypothesis.tokens)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(hypothesis)
+    return unique[:num_beams]

@@ -1,0 +1,138 @@
+"""Parameterised modules built on the autograd engine."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.utils.rng import SeededRng
+
+
+class Parameter(Tensor):
+    """A tensor that is always trainable."""
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class providing recursive parameter discovery and state I/O."""
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all parameters of this module and its sub-modules."""
+        seen: set[int] = set()
+        for value in vars(self).values():
+            yield from _parameters_of(value, seen)
+
+    def named_parameters(self) -> Iterator[tuple[str, Parameter]]:
+        seen: set[int] = set()
+        for name, value in vars(self).items():
+            for sub_name, parameter in _named_parameters_of(value, seen):
+                yield (f"{name}{sub_name}", parameter)
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(parameter.data.size for parameter in self.parameters())
+
+    # -- persistence ----------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        parameters = dict(self.named_parameters())
+        missing = set(parameters) - set(state)
+        unexpected = set(state) - set(parameters)
+        if missing or unexpected:
+            raise ValueError(f"state mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
+        for name, parameter in parameters.items():
+            if parameter.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {parameter.data.shape} vs {state[name].shape}"
+                )
+            parameter.data = state[name].copy()
+
+
+def _parameters_of(value: object, seen: set[int]) -> Iterator[Parameter]:
+    if isinstance(value, Parameter):
+        if id(value) not in seen:
+            seen.add(id(value))
+            yield value
+    elif isinstance(value, Module):
+        for parameter in value.parameters():
+            if id(parameter) not in seen:
+                seen.add(id(parameter))
+                yield parameter
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _parameters_of(item, seen)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _parameters_of(item, seen)
+
+
+def _named_parameters_of(value: object, seen: set[int]) -> Iterator[tuple[str, Parameter]]:
+    if isinstance(value, Parameter):
+        if id(value) not in seen:
+            seen.add(id(value))
+            yield ("", value)
+    elif isinstance(value, Module):
+        for name, parameter in value.named_parameters():
+            if id(parameter) not in seen:
+                seen.add(id(parameter))
+                yield (f".{name}", parameter)
+    elif isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            for name, parameter in _named_parameters_of(item, seen):
+                yield (f"[{index}]{name}", parameter)
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            for name, parameter in _named_parameters_of(item, seen):
+                yield (f"[{key}]{name}", parameter)
+
+
+def _glorot(rng: SeededRng, fan_in: int, fan_out: int, shape: tuple[int, ...]) -> np.ndarray:
+    scale = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.numpy.uniform(-scale, scale, size=shape)
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: SeededRng,
+                 bias: bool = True, name: str = "linear") -> None:
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(_glorot(rng, in_features, out_features,
+                                        (in_features, out_features)), name=f"{name}.weight")
+        self.bias = Parameter(np.zeros(out_features), name=f"{name}.bias") if bias else None
+
+    def __call__(self, inputs: Tensor) -> Tensor:
+        flattened = inputs
+        original_shape = inputs.shape
+        if inputs.ndim > 2:
+            flattened = inputs.reshape(-1, original_shape[-1])
+        outputs = flattened @ self.weight
+        if self.bias is not None:
+            outputs = outputs + self.bias
+        if inputs.ndim > 2:
+            outputs = outputs.reshape(*original_shape[:-1], self.out_features)
+        return outputs
+
+
+class Embedding(Module):
+    """Token-embedding table."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, rng: SeededRng,
+                 name: str = "embedding") -> None:
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(rng.normal((num_embeddings, embedding_dim), scale=0.1),
+                                name=f"{name}.weight")
+
+    def __call__(self, indices: np.ndarray) -> Tensor:
+        return self.weight.embedding_lookup(np.asarray(indices, dtype=np.int64))

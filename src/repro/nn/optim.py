@@ -1,0 +1,88 @@
+"""Optimisers and learning-rate schedules.
+
+The paper optimises with AdamW and a linear learning-rate schedule with no
+warm-up (§4.1.5); both are implemented here for the numpy substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.modules import Parameter
+
+
+class AdamW:
+    """AdamW (decoupled weight decay) over a list of parameters."""
+
+    def __init__(self, parameters: list[Parameter], learning_rate: float = 5e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), epsilon: float = 1e-8,
+                 weight_decay: float = 0.01) -> None:
+        self.parameters = list(parameters)
+        self.learning_rate = learning_rate
+        self.betas = betas
+        self.epsilon = epsilon
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._first_moment = [np.zeros_like(parameter.data) for parameter in self.parameters]
+        self._second_moment = [np.zeros_like(parameter.data) for parameter in self.parameters]
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self, learning_rate: float | None = None) -> None:
+        """Apply one update using accumulated gradients."""
+        rate = self.learning_rate if learning_rate is None else learning_rate
+        beta1, beta2 = self.betas
+        self._step += 1
+        bias_correction1 = 1.0 - beta1 ** self._step
+        bias_correction2 = 1.0 - beta2 ** self._step
+        for index, parameter in enumerate(self.parameters):
+            gradient = parameter.grad
+            if gradient is None:
+                continue
+            moment1 = self._first_moment[index]
+            moment2 = self._second_moment[index]
+            moment1 *= beta1
+            moment1 += (1.0 - beta1) * gradient
+            moment2 *= beta2
+            moment2 += (1.0 - beta2) * gradient * gradient
+            corrected1 = moment1 / bias_correction1
+            corrected2 = moment2 / bias_correction2
+            update = corrected1 / (np.sqrt(corrected2) + self.epsilon)
+            if self.weight_decay:
+                update = update + self.weight_decay * parameter.data
+            parameter.data = parameter.data - rate * update
+
+
+@dataclass
+class LinearSchedule:
+    """Linear decay from the base learning rate to (almost) zero."""
+
+    base_learning_rate: float
+    total_steps: int
+    minimum_fraction: float = 0.02
+
+    def learning_rate(self, step: int) -> float:
+        if self.total_steps <= 0:
+            return self.base_learning_rate
+        progress = min(max(step, 0), self.total_steps) / self.total_steps
+        fraction = max(1.0 - progress, self.minimum_fraction)
+        return self.base_learning_rate * fraction
+
+
+def clip_gradients(parameters: list[Parameter], max_norm: float) -> float:
+    """Clip gradients to a global L2 norm; returns the pre-clip norm."""
+    total = 0.0
+    for parameter in parameters:
+        if parameter.grad is not None:
+            total += float((parameter.grad ** 2).sum())
+    norm = float(np.sqrt(total))
+    if max_norm > 0.0 and norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for parameter in parameters:
+            if parameter.grad is not None:
+                parameter.grad = parameter.grad * scale
+    return norm

@@ -1,0 +1,156 @@
+"""Attention-based encoder-decoder used as the DSI schema router backbone.
+
+Architecture (a compact stand-in for the paper's T5-base):
+
+* Encoder: word embeddings projected through a tanh layer form a memory of
+  per-token states; a masked mean of the memory initialises the decoder state.
+* Decoder: a simple recurrent cell ``s_t = tanh(W_in e(y_{t-1}) + W_hh s_{t-1})``
+  with dot-product attention over the encoder memory; the attended context and
+  state are combined and projected to target-vocabulary logits.
+
+Training uses the autograd engine; inference (:meth:`Seq2SeqModel.encode_numpy`
+and :meth:`Seq2SeqModel.decode_step_numpy`) runs on raw numpy so that beam
+search and constrained decoding stay fast and allocation-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, stack_rows
+from repro.nn.modules import Embedding, Linear, Module
+from repro.utils.rng import SeededRng
+
+
+@dataclass(frozen=True)
+class Seq2SeqConfig:
+    """Hyper-parameters of the Seq2Seq model."""
+
+    source_vocab_size: int
+    target_vocab_size: int
+    embedding_dim: int = 48
+    hidden_dim: int = 96
+    seed: int = 0
+
+
+@dataclass
+class EncodedSource:
+    """Numpy-side encoder outputs used during inference."""
+
+    memory: np.ndarray  # (T_src, hidden)
+    mask: np.ndarray    # (T_src,)
+    state: np.ndarray   # (hidden,)
+
+
+class Seq2SeqModel(Module):
+    """Encoder-decoder with attention; see the module docstring."""
+
+    def __init__(self, config: Seq2SeqConfig) -> None:
+        self.config = config
+        rng = SeededRng(config.seed)
+        dim, hidden = config.embedding_dim, config.hidden_dim
+        self.source_embedding = Embedding(config.source_vocab_size, dim, rng.child("src_emb"),
+                                          name="source_embedding")
+        self.encoder_projection = Linear(dim, hidden, rng.child("enc_proj"), name="encoder_projection")
+        self.state_init = Linear(hidden, hidden, rng.child("state_init"), name="state_init")
+        self.target_embedding = Embedding(config.target_vocab_size, dim, rng.child("tgt_emb"),
+                                          name="target_embedding")
+        self.input_projection = Linear(dim, hidden, rng.child("w_in"), bias=False,
+                                       name="input_projection")
+        self.recurrent_projection = Linear(hidden, hidden, rng.child("w_hh"),
+                                           name="recurrent_projection")
+        self.combine_projection = Linear(2 * hidden, hidden, rng.child("combine"),
+                                         name="combine_projection")
+        self.output_projection = Linear(hidden, config.target_vocab_size, rng.child("out"),
+                                        name="output_projection")
+
+    # ------------------------------------------------------------------
+    # Training path (autograd)
+    # ------------------------------------------------------------------
+    def encode(self, source_ids: np.ndarray, source_mask: np.ndarray) -> tuple[Tensor, Tensor]:
+        """Encode a batch; returns (memory ``(B,T,h)``, initial state ``(B,h)``)."""
+        embedded = self.source_embedding(source_ids)                    # (B, T, d)
+        memory = self.encoder_projection(embedded).tanh()               # (B, T, h)
+        mask3 = np.asarray(source_mask, dtype=np.float64)[:, :, None]
+        masked = memory * Tensor(mask3)
+        pooled = masked.mean_over_axis(axis=1)                          # (B, h) == sum / T
+        lengths = np.clip(mask3.sum(axis=1), 1.0, None)                 # (B, 1)
+        scale = mask3.shape[1] / lengths                                # rescale mean -> masked mean
+        pooled = pooled * Tensor(scale)
+        state = self.state_init(pooled).tanh()                          # (B, h)
+        return memory, state
+
+    def decoder_step(self, previous_ids: np.ndarray, state: Tensor, memory: Tensor,
+                     source_mask: np.ndarray) -> tuple[Tensor, Tensor]:
+        """One decoder step; returns (logits ``(B,V)``, new state ``(B,h)``)."""
+        batch_size = memory.shape[0]
+        hidden = self.config.hidden_dim
+        previous_embedded = self.target_embedding(previous_ids)         # (B, d)
+        state = (self.input_projection(previous_embedded)
+                 + self.recurrent_projection(state)).tanh()             # (B, h)
+        # Dot-product attention over the encoder memory.
+        scores = memory.bmm(state.reshape(batch_size, hidden, 1))       # (B, T, 1)
+        mask3 = np.asarray(source_mask, dtype=np.float64)[:, :, None]
+        scores = scores + Tensor((1.0 - mask3) * -1e9)
+        attention = scores.softmax(axis=1)                              # (B, T, 1)
+        context = attention.transpose_last_two().bmm(memory)            # (B, 1, h)
+        context = context.reshape(batch_size, hidden)
+        combined = self.combine_projection(Tensor.concat([state, context], axis=-1)).tanh()
+        logits = self.output_projection(combined)                       # (B, V)
+        return logits, state
+
+    def forward_loss(self, source_ids: np.ndarray, source_mask: np.ndarray,
+                     target_ids: np.ndarray, target_mask: np.ndarray) -> Tensor:
+        """Teacher-forced sequence cross-entropy for one batch.
+
+        ``target_ids`` must start with BOS and end with EOS (plus padding);
+        the loss is computed over the shifted targets.
+        """
+        decoder_inputs = target_ids[:, :-1]
+        decoder_targets = target_ids[:, 1:]
+        decoder_mask = target_mask[:, 1:]
+        memory, state = self.encode(source_ids, source_mask)
+        step_logits: list[Tensor] = []
+        for step in range(decoder_inputs.shape[1]):
+            logits, state = self.decoder_step(decoder_inputs[:, step], state, memory, source_mask)
+            step_logits.append(logits)
+        logits_over_time = stack_rows(step_logits)                      # (T, B, V)
+        targets_over_time = decoder_targets.T                           # (T, B)
+        mask_over_time = decoder_mask.T
+        return logits_over_time.cross_entropy(targets_over_time, mask_over_time)
+
+    # ------------------------------------------------------------------
+    # Inference path (plain numpy, no autograd overhead)
+    # ------------------------------------------------------------------
+    def encode_numpy(self, source_ids: list[int] | np.ndarray) -> EncodedSource:
+        """Encode one source sequence for decoding."""
+        ids = np.asarray(source_ids, dtype=np.int64)
+        if ids.size == 0:
+            ids = np.asarray([0], dtype=np.int64)
+        embedded = self.source_embedding.weight.data[ids]               # (T, d)
+        memory = np.tanh(embedded @ self.encoder_projection.weight.data
+                         + self.encoder_projection.bias.data)           # (T, h)
+        pooled = memory.mean(axis=0)
+        state = np.tanh(pooled @ self.state_init.weight.data + self.state_init.bias.data)
+        return EncodedSource(memory=memory, mask=np.ones(len(ids)), state=state)
+
+    def decode_step_numpy(self, encoded: EncodedSource, state: np.ndarray,
+                          previous_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """One inference decoder step; returns (log-probabilities ``(V,)``, new state)."""
+        previous_embedded = self.target_embedding.weight.data[previous_id]
+        state = np.tanh(previous_embedded @ self.input_projection.weight.data
+                        + state @ self.recurrent_projection.weight.data
+                        + self.recurrent_projection.bias.data)
+        scores = encoded.memory @ state                                  # (T,)
+        scores = scores - scores.max()
+        attention = np.exp(scores)
+        attention = attention / attention.sum()
+        context = attention @ encoded.memory                             # (h,)
+        combined = np.tanh(np.concatenate([state, context]) @ self.combine_projection.weight.data
+                           + self.combine_projection.bias.data)
+        logits = combined @ self.output_projection.weight.data + self.output_projection.bias.data
+        logits = logits - logits.max()
+        log_probabilities = logits - np.log(np.exp(logits).sum())
+        return log_probabilities, state

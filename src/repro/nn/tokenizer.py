@@ -1,0 +1,143 @@
+"""Word-level tokenizer and vocabulary.
+
+The paper's router uses T5's SentencePiece tokenizer; here a word-level
+tokenizer keeps the vocabulary small and the constrained-decoding prefix trie
+simple while preserving the property that schema identifiers are decomposed
+into shared word pieces (``singer_in_concert`` -> ``singer in concert``), so
+the router can generalise across identifiers that share words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.utils.text import tokenize_text
+
+
+@dataclass(frozen=True)
+class SpecialTokens:
+    """Reserved vocabulary entries."""
+
+    pad: str = "<pad>"
+    bos: str = "<bos>"
+    eos: str = "<eos>"
+    unk: str = "<unk>"
+    #: Separator emitted between serialized schema elements (paper Figure 4
+    #: shows the element separator in generated schema sequences).
+    sep: str = "<sep>"
+
+    def as_tuple(self) -> tuple[str, ...]:
+        return (self.pad, self.bos, self.eos, self.unk, self.sep)
+
+
+class Vocabulary:
+    """A bidirectional token <-> id mapping with reserved special tokens."""
+
+    def __init__(self, tokens: Iterable[str] = (), specials: SpecialTokens | None = None) -> None:
+        self.specials = specials or SpecialTokens()
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        for token in self.specials.as_tuple():
+            self._add(token)
+        for token in tokens:
+            self.add(token)
+
+    # -- construction --------------------------------------------------------
+    def _add(self, token: str) -> int:
+        if token in self._token_to_id:
+            return self._token_to_id[token]
+        index = len(self._id_to_token)
+        self._token_to_id[token] = index
+        self._id_to_token.append(token)
+        return index
+
+    def add(self, token: str) -> int:
+        """Add a token (idempotent) and return its id."""
+        return self._add(token)
+
+    def add_text(self, text: str) -> None:
+        for token in tokenize_text(text):
+            self._add(token)
+
+    # -- lookups --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: object) -> bool:
+        return token in self._token_to_id
+
+    def id_of(self, token: str) -> int:
+        return self._token_to_id.get(token, self._token_to_id[self.specials.unk])
+
+    def token_of(self, index: int) -> str:
+        return self._id_to_token[index]
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[self.specials.pad]
+
+    @property
+    def bos_id(self) -> int:
+        return self._token_to_id[self.specials.bos]
+
+    @property
+    def eos_id(self) -> int:
+        return self._token_to_id[self.specials.eos]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[self.specials.unk]
+
+    @property
+    def sep_id(self) -> int:
+        return self._token_to_id[self.specials.sep]
+
+    def tokens(self) -> list[str]:
+        return list(self._id_to_token)
+
+
+class WordTokenizer:
+    """Encodes text / token streams to id sequences against a vocabulary."""
+
+    def __init__(self, vocabulary: Vocabulary) -> None:
+        self.vocabulary = vocabulary
+
+    # -- encoding ---------------------------------------------------------------
+    def encode_text(self, text: str, max_length: int | None = None) -> list[int]:
+        """Encode free text (questions) into ids, without BOS/EOS."""
+        ids = [self.vocabulary.id_of(token) for token in tokenize_text(text)]
+        if max_length is not None:
+            ids = ids[:max_length]
+        return ids
+
+    def encode_tokens(self, tokens: Iterable[str], add_bos: bool = True,
+                      add_eos: bool = True) -> list[int]:
+        """Encode an explicit token stream (serialized schemata)."""
+        ids = [self.vocabulary.id_of(token) for token in tokens]
+        if add_bos:
+            ids = [self.vocabulary.bos_id] + ids
+        if add_eos:
+            ids = ids + [self.vocabulary.eos_id]
+        return ids
+
+    # -- decoding -------------------------------------------------------------------
+    def decode(self, ids: Iterable[int], skip_special: bool = True) -> list[str]:
+        specials = set(self.vocabulary.specials.as_tuple()) - {self.vocabulary.specials.sep}
+        tokens = []
+        for index in ids:
+            token = self.vocabulary.token_of(int(index))
+            if skip_special and token in specials:
+                continue
+            tokens.append(token)
+        return tokens
+
+
+def build_vocabulary(texts: Iterable[str], extra_tokens: Iterable[str] = ()) -> Vocabulary:
+    """Build a vocabulary covering ``texts`` plus explicit extra tokens."""
+    vocabulary = Vocabulary()
+    for text in texts:
+        vocabulary.add_text(text)
+    for token in extra_tokens:
+        vocabulary.add(token)
+    return vocabulary

@@ -1,0 +1,83 @@
+"""Training loop for Seq2Seq models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.nn.data import iterate_batches
+from repro.nn.optim import AdamW, LinearSchedule, clip_gradients
+from repro.nn.seq2seq import Seq2SeqModel
+from repro.utils.rng import SeededRng
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Hyper-parameters of the training loop.
+
+    The defaults mirror the paper's recipe scaled to the numpy substrate:
+    AdamW, linear schedule without warm-up, batch size 32.
+    """
+
+    epochs: int = 12
+    batch_size: int = 32
+    learning_rate: float = 5e-3
+    weight_decay: float = 0.01
+    clip_norm: float = 5.0
+    seed: int = 0
+    shuffle: bool = True
+
+
+@dataclass
+class TrainingHistory:
+    """Loss per epoch, useful for convergence checks in tests."""
+
+    epoch_losses: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("inf")
+
+
+class Seq2SeqTrainer:
+    """Teacher-forced training of a :class:`Seq2SeqModel` on id pairs."""
+
+    def __init__(self, model: Seq2SeqModel, config: TrainerConfig | None = None,
+                 pad_id: int = 0) -> None:
+        self.model = model
+        self.config = config or TrainerConfig()
+        self.pad_id = pad_id
+
+    def train(self, pairs: Sequence[tuple[Sequence[int], Sequence[int]]],
+              progress: Callable[[int, float], None] | None = None) -> TrainingHistory:
+        """Train on ``(source_ids, target_ids)`` pairs; returns the loss history."""
+        if not pairs:
+            raise ValueError("no training pairs supplied")
+        config = self.config
+        rng = SeededRng(config.seed)
+        parameters = list(self.model.parameters())
+        optimizer = AdamW(parameters, learning_rate=config.learning_rate,
+                          weight_decay=config.weight_decay)
+        steps_per_epoch = max(1, (len(pairs) + config.batch_size - 1) // config.batch_size)
+        schedule = LinearSchedule(config.learning_rate, config.epochs * steps_per_epoch)
+        history = TrainingHistory()
+        global_step = 0
+        for epoch in range(config.epochs):
+            order = list(rng.permutation(len(pairs))) if config.shuffle else list(range(len(pairs)))
+            epoch_loss = 0.0
+            batches = 0
+            for batch in iterate_batches(pairs, config.batch_size, self.pad_id, order):
+                optimizer.zero_grad()
+                loss = self.model.forward_loss(batch.source_ids, batch.source_mask,
+                                               batch.target_ids, batch.target_mask)
+                loss.backward()
+                clip_gradients(parameters, config.clip_norm)
+                optimizer.step(schedule.learning_rate(global_step))
+                epoch_loss += loss.item()
+                batches += 1
+                global_step += 1
+            mean_loss = epoch_loss / max(batches, 1)
+            history.epoch_losses.append(mean_loss)
+            if progress is not None:
+                progress(epoch, mean_loss)
+        return history

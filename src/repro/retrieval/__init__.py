@@ -1,0 +1,44 @@
+"""Schema-routing baselines.
+
+The paper compares its router against sparse retrieval (BM25), generic dense
+retrieval (SXFMR / sentence transformers), LLM-enhanced retrieval (CRUSH4SQL's
+hallucinate-then-retrieve), and a fine-tuned dense table retriever (DTR).
+Each baseline retrieves *table documents* independently, ranks databases by
+the average score of their retrieved tables, and forms candidate schemata from
+the top database's retrieved tables -- exactly the protocol of §4.1.5.
+"""
+
+from repro.retrieval.documents import TableDocument, build_table_documents
+from repro.retrieval.base import RankedTable, RoutingPrediction, SchemaRetriever
+from repro.retrieval.bm25 import BM25Retriever
+from repro.retrieval.dense import DenseRetriever, LsaEncoder
+from repro.retrieval.dtr import ContrastiveTableRetriever
+from repro.retrieval.crush import CrushRetriever, SchemaHallucinator
+from repro.retrieval.ranking import prediction_from_table_ranking
+from repro.retrieval.metrics import (
+    RoutingScores,
+    database_recall_at_k,
+    evaluate_routing,
+    mean_average_precision,
+    table_recall_at_k,
+)
+
+__all__ = [
+    "TableDocument",
+    "build_table_documents",
+    "RankedTable",
+    "RoutingPrediction",
+    "SchemaRetriever",
+    "BM25Retriever",
+    "DenseRetriever",
+    "LsaEncoder",
+    "ContrastiveTableRetriever",
+    "CrushRetriever",
+    "SchemaHallucinator",
+    "prediction_from_table_ranking",
+    "RoutingScores",
+    "database_recall_at_k",
+    "evaluate_routing",
+    "mean_average_precision",
+    "table_recall_at_k",
+]

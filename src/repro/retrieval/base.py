@@ -1,0 +1,78 @@
+"""Common interfaces and result containers for schema routing methods."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.retrieval.documents import DocumentCollection
+
+
+@dataclass(frozen=True)
+class RankedTable:
+    """One retrieved table with its score."""
+
+    database: str
+    table: str
+    score: float
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.database, self.table)
+
+
+@dataclass(frozen=True)
+class CandidateSchema:
+    """One candidate SQL query schema ``<database, tables>`` with a score."""
+
+    database: str
+    tables: tuple[str, ...]
+    score: float = 0.0
+
+
+@dataclass
+class RoutingPrediction:
+    """The unified output of every routing method for one question.
+
+    * ``ranked_databases``: databases ordered by decreasing relevance.
+    * ``ranked_tables``: (database, table) pairs ordered by decreasing relevance.
+    * ``candidate_schemas``: candidate schemata ordered by decreasing score;
+      the first one is the "best schema" used by best-schema prompting.
+    """
+
+    ranked_databases: list[str] = field(default_factory=list)
+    ranked_tables: list[RankedTable] = field(default_factory=list)
+    candidate_schemas: list[CandidateSchema] = field(default_factory=list)
+
+    @property
+    def best_schema(self) -> CandidateSchema | None:
+        return self.candidate_schemas[0] if self.candidate_schemas else None
+
+    def top_databases(self, k: int) -> list[str]:
+        return self.ranked_databases[:k]
+
+    def top_tables(self, k: int) -> list[tuple[str, str]]:
+        return [ranked.key for ranked in self.ranked_tables[:k]]
+
+
+class SchemaRetriever(ABC):
+    """A schema-routing method based on retrieving table documents."""
+
+    #: Human-readable method name used in result tables.
+    name: str = "retriever"
+
+    @abstractmethod
+    def index(self, documents: DocumentCollection) -> None:
+        """Build the index over the table documents of a catalog."""
+
+    @abstractmethod
+    def rank_tables(self, question: str, top_k: int = 100) -> list[RankedTable]:
+        """Return the ``top_k`` tables ranked by relevance to ``question``."""
+
+    def route(self, question: str, top_k_tables: int = 100,
+              max_candidates: int = 5) -> RoutingPrediction:
+        """Full routing: rank tables, derive databases and candidate schemata."""
+        from repro.retrieval.ranking import prediction_from_table_ranking
+
+        ranked = self.rank_tables(question, top_k=top_k_tables)
+        return prediction_from_table_ranking(ranked, max_candidates=max_candidates)

@@ -1,0 +1,76 @@
+"""Okapi BM25 retrieval over table documents (the sparse baseline)."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+
+from repro.retrieval.base import RankedTable, SchemaRetriever
+from repro.retrieval.documents import DocumentCollection, TableDocument
+from repro.utils.text import tokenize_text
+
+
+class BM25Retriever(SchemaRetriever):
+    """Standard Okapi BM25 with the usual two free parameters.
+
+    The zero-shot configuration indexes the flat table/column names; the
+    fine-tuned configuration (paper Table 3, "Fine-tuned / BM25") indexes
+    documents expanded with synthetic questions, which is achieved by passing
+    an expanded :class:`DocumentCollection` to :meth:`index`.
+    """
+
+    name = "bm25"
+
+    def __init__(self, k1: float = 1.5, b: float = 0.75) -> None:
+        self.k1 = k1
+        self.b = b
+        self._documents: list[TableDocument] = []
+        self._document_tokens: list[list[str]] = []
+        self._document_frequencies: dict[str, int] = {}
+        self._average_length = 0.0
+
+    # -- indexing -------------------------------------------------------------
+    def index(self, documents: DocumentCollection) -> None:
+        self._documents = list(documents)
+        self._document_tokens = [document.tokens() for document in self._documents]
+        frequencies: dict[str, int] = defaultdict(int)
+        total_length = 0
+        for tokens in self._document_tokens:
+            total_length += len(tokens)
+            for token in set(tokens):
+                frequencies[token] += 1
+        self._document_frequencies = dict(frequencies)
+        self._average_length = total_length / max(len(self._documents), 1)
+
+    # -- scoring ----------------------------------------------------------------
+    def _idf(self, token: str) -> float:
+        document_count = len(self._documents)
+        containing = self._document_frequencies.get(token, 0)
+        return math.log((document_count - containing + 0.5) / (containing + 0.5) + 1.0)
+
+    def score(self, question: str, document_index: int) -> float:
+        query_tokens = tokenize_text(question)
+        tokens = self._document_tokens[document_index]
+        counts = Counter(tokens)
+        length = len(tokens)
+        score = 0.0
+        for token in query_tokens:
+            frequency = counts.get(token, 0)
+            if frequency == 0:
+                continue
+            idf = self._idf(token)
+            numerator = frequency * (self.k1 + 1.0)
+            denominator = frequency + self.k1 * (1.0 - self.b + self.b * length / max(self._average_length, 1e-9))
+            score += idf * numerator / denominator
+        return score
+
+    def rank_tables(self, question: str, top_k: int = 100) -> list[RankedTable]:
+        if not self._documents:
+            raise RuntimeError("index() must be called before rank_tables()")
+        scored = [
+            RankedTable(database=document.database, table=document.table,
+                        score=self.score(question, index))
+            for index, document in enumerate(self._documents)
+        ]
+        scored.sort(key=lambda ranked: ranked.score, reverse=True)
+        return scored[:top_k]

@@ -1,0 +1,79 @@
+"""Table documents: the retrieval targets shared by every baseline.
+
+Following §4.1.5, tables are the retrieval targets and the content of each
+table document is the flat normalised names of the table and its columns.
+Fine-tuned baselines may expand documents with synthetic questions (the
+"fine-tuned on synthetic data" rows of Table 3/4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.schema.catalog import Catalog
+from repro.utils.text import tokenize_text
+
+
+@dataclass
+class TableDocument:
+    """One retrievable table."""
+
+    database: str
+    table: str
+    text: str
+    #: Extra text appended by fine-tuning (synthetic questions about the table).
+    expansion: str = ""
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.database, self.table)
+
+    def tokens(self) -> list[str]:
+        return tokenize_text(f"{self.text} {self.expansion}".strip())
+
+
+@dataclass
+class DocumentCollection:
+    """All table documents of a catalog, with lookup helpers."""
+
+    documents: list[TableDocument] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def __iter__(self):
+        return iter(self.documents)
+
+    def by_key(self) -> dict[tuple[str, str], TableDocument]:
+        return {document.key: document for document in self.documents}
+
+    def expand(self, expansions: dict[tuple[str, str], list[str]]) -> "DocumentCollection":
+        """Return a new collection with per-table expansion text appended."""
+        expanded = []
+        for document in self.documents:
+            extra = " ".join(expansions.get(document.key, []))
+            expanded.append(TableDocument(
+                database=document.database,
+                table=document.table,
+                text=document.text,
+                expansion=f"{document.expansion} {extra}".strip(),
+            ))
+        return DocumentCollection(expanded)
+
+
+def build_table_documents(catalog: Catalog, include_database_name: bool = True) -> DocumentCollection:
+    """Build the table-document collection of a catalog."""
+    documents: list[TableDocument] = []
+    for database, table in catalog.iter_tables():
+        parts: list[str] = []
+        if include_database_name:
+            parts.extend(database.words)
+        parts.extend(table.words)
+        for column in table.columns:
+            parts.extend(column.words)
+        documents.append(TableDocument(
+            database=database.name,
+            table=table.name,
+            text=" ".join(parts),
+        ))
+    return DocumentCollection(documents)

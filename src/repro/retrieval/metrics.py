@@ -1,0 +1,91 @@
+"""Routing evaluation metrics: Recall@k and mAP (paper §4.1.4).
+
+For schema routing the paper reports database Recall@{1,5}, table
+Recall@{5,15}, and table mAP.  Table identity is the (database, table) pair:
+a retrieved table only counts if it comes from the gold database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Sequence
+
+from repro.retrieval.base import RoutingPrediction
+
+
+def database_recall_at_k(prediction: RoutingPrediction, gold_database: str, k: int) -> float:
+    """1.0 if the gold database appears in the top-k ranked databases."""
+    return 1.0 if gold_database in prediction.top_databases(k) else 0.0
+
+
+def table_recall_at_k(prediction: RoutingPrediction, gold_database: str,
+                      gold_tables: Sequence[str], k: int) -> float:
+    """Fraction of gold tables present in the top-k retrieved tables."""
+    if not gold_tables:
+        return 1.0
+    retrieved = set(prediction.top_tables(k))
+    hits = sum(1 for table in gold_tables if (gold_database, table) in retrieved)
+    return hits / len(gold_tables)
+
+
+def mean_average_precision(prediction: RoutingPrediction, gold_database: str,
+                           gold_tables: Sequence[str]) -> float:
+    """Average precision of the table ranking against the gold tables."""
+    if not gold_tables:
+        return 1.0
+    gold = {(gold_database, table) for table in gold_tables}
+    hits = 0
+    precision_sum = 0.0
+    for rank, ranked in enumerate(prediction.ranked_tables, start=1):
+        if ranked.key in gold:
+            hits += 1
+            precision_sum += hits / rank
+    return precision_sum / len(gold)
+
+
+@dataclass
+class RoutingScores:
+    """Aggregated routing metrics over a test set."""
+
+    database_recall: dict[int, float] = field(default_factory=dict)
+    table_recall: dict[int, float] = field(default_factory=dict)
+    table_map: float = 0.0
+    count: int = 0
+
+    def as_row(self) -> dict[str, float]:
+        row: dict[str, float] = {}
+        for k, value in sorted(self.database_recall.items()):
+            row[f"db_recall@{k}"] = round(100.0 * value, 2)
+        for k, value in sorted(self.table_recall.items()):
+            row[f"table_recall@{k}"] = round(100.0 * value, 2)
+        row["table_map"] = round(100.0 * self.table_map, 2)
+        return row
+
+
+def evaluate_routing(predictions: Sequence[RoutingPrediction],
+                     gold_databases: Sequence[str],
+                     gold_tables: Sequence[Sequence[str]],
+                     database_ks: Sequence[int] = (1, 5),
+                     table_ks: Sequence[int] = (5, 15)) -> RoutingScores:
+    """Aggregate metrics over aligned prediction / gold sequences."""
+    if not (len(predictions) == len(gold_databases) == len(gold_tables)):
+        raise ValueError("predictions and gold annotations must be aligned")
+    if not predictions:
+        return RoutingScores(count=0)
+    scores = RoutingScores(count=len(predictions))
+    for k in database_ks:
+        scores.database_recall[k] = mean(
+            database_recall_at_k(prediction, database, k)
+            for prediction, database in zip(predictions, gold_databases)
+        )
+    for k in table_ks:
+        scores.table_recall[k] = mean(
+            table_recall_at_k(prediction, database, tables, k)
+            for prediction, database, tables in zip(predictions, gold_databases, gold_tables)
+        )
+    scores.table_map = mean(
+        mean_average_precision(prediction, database, tables)
+        for prediction, database, tables in zip(predictions, gold_databases, gold_tables)
+    )
+    return scores

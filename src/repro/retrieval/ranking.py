@@ -1,0 +1,50 @@
+"""Turning a table ranking into database rankings and candidate schemata.
+
+The protocol follows §4.1.5: for each question the baselines retrieve the top
+tables and rank databases by the average score of their retrieved tables; a
+candidate schema consists of a candidate database plus the retrieved tables
+that belong to it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.retrieval.base import CandidateSchema, RankedTable, RoutingPrediction
+
+#: Cap on the number of tables a candidate schema keeps per database; matches
+#: the small table sets SQL query schemata actually have.
+MAX_TABLES_PER_CANDIDATE = 6
+
+
+def prediction_from_table_ranking(ranked_tables: list[RankedTable],
+                                  max_candidates: int = 5,
+                                  max_tables_per_candidate: int = MAX_TABLES_PER_CANDIDATE,
+                                  ) -> RoutingPrediction:
+    """Aggregate a flat table ranking into a :class:`RoutingPrediction`."""
+    scores_by_database: dict[str, list[float]] = defaultdict(list)
+    tables_by_database: dict[str, list[RankedTable]] = defaultdict(list)
+    for ranked in ranked_tables:
+        scores_by_database[ranked.database].append(ranked.score)
+        tables_by_database[ranked.database].append(ranked)
+
+    database_scores = {
+        database: sum(scores) / len(scores)
+        for database, scores in scores_by_database.items()
+    }
+    ranked_databases = sorted(database_scores, key=database_scores.get, reverse=True)
+
+    candidates: list[CandidateSchema] = []
+    for database in ranked_databases[:max_candidates]:
+        tables = tables_by_database[database][:max_tables_per_candidate]
+        candidates.append(CandidateSchema(
+            database=database,
+            tables=tuple(table.table for table in tables),
+            score=database_scores[database],
+        ))
+
+    return RoutingPrediction(
+        ranked_databases=ranked_databases,
+        ranked_tables=list(ranked_tables),
+        candidate_schemas=candidates,
+    )

@@ -1,0 +1,28 @@
+"""Relational schema model.
+
+The schema layer is the foundation shared by every other subsystem: the
+synthetic dataset generators produce :class:`Database` objects, the schema
+graph (paper §3.2) is built from a :class:`Catalog`, the retrieval baselines
+index table documents derived from it, and the SQL layer validates queries
+against it.
+"""
+
+from repro.schema.column import Column, ColumnType
+from repro.schema.table import ForeignKey, Table
+from repro.schema.database import Database
+from repro.schema.catalog import Catalog
+from repro.schema.joinability import jaccard_similarity, joinable_table_pairs
+from repro.schema.statistics import CatalogStatistics, describe_catalog
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "ForeignKey",
+    "Table",
+    "Database",
+    "Catalog",
+    "jaccard_similarity",
+    "joinable_table_pairs",
+    "CatalogStatistics",
+    "describe_catalog",
+]

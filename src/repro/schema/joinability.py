@@ -1,0 +1,105 @@
+"""Joinable-table detection.
+
+Besides explicit primary/foreign keys, the paper adds *Joinable* edges to the
+schema graph: two tables are joinable when the exact-match overlap (Jaccard
+similarity) of some pair of their column value sets exceeds 0.85 (paper
+§4.1.5).  This module implements that heuristic against the in-memory engine's
+stored values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.schema.database import Database
+
+#: Jaccard threshold from the paper's implementation details (§4.1.5).
+DEFAULT_JACCARD_THRESHOLD = 0.85
+
+
+def jaccard_similarity(left: Iterable[object], right: Iterable[object]) -> float:
+    """Exact-match Jaccard similarity of two value collections."""
+    left_set = {value for value in left if value is not None}
+    right_set = {value for value in right if value is not None}
+    if not left_set and not right_set:
+        return 0.0
+    intersection = len(left_set & right_set)
+    union = len(left_set | right_set)
+    return intersection / union if union else 0.0
+
+
+def joinable_table_pairs(
+    database: Database,
+    column_values: Mapping[str, Mapping[str, Sequence[object]]] | None = None,
+    threshold: float = DEFAULT_JACCARD_THRESHOLD,
+) -> list[tuple[str, str]]:
+    """Find joinable table pairs in ``database``.
+
+    Parameters
+    ----------
+    database:
+        Schema whose tables are examined.
+    column_values:
+        Optional mapping ``table -> column -> values`` (typically produced by
+        the in-memory engine).  When provided, the Jaccard heuristic is applied
+        on top of the declared foreign keys; otherwise only foreign keys are
+        used.
+    threshold:
+        Minimum Jaccard similarity for a value-overlap join edge.
+
+    Returns
+    -------
+    list of (table, table) pairs (each unordered pair appears once, in the
+    catalog order of the first member).
+    """
+    pairs: list[tuple[str, str]] = []
+    seen: set[frozenset[str]] = set()
+
+    def add(a: str, b: str) -> None:
+        if a == b:
+            return
+        key = frozenset((a, b))
+        if key not in seen:
+            seen.add(key)
+            pairs.append((a, b))
+
+    # Explicit primary-foreign relationships always count as joinable.
+    for fk in database.foreign_keys:
+        add(fk.source_table, fk.target_table)
+
+    # Implicit foreign-foreign relationships: two tables referencing the same
+    # column of a third table can be linked without the junction table
+    # (paper Example 3).
+    referencing: dict[tuple[str, str], list[str]] = {}
+    for fk in database.foreign_keys:
+        referencing.setdefault((fk.target_table, fk.target_column), []).append(fk.source_table)
+    for sources in referencing.values():
+        for i, a in enumerate(sources):
+            for b in sources[i + 1:]:
+                add(a, b)
+
+    if column_values:
+        table_names = database.table_names
+        for i, left_name in enumerate(table_names):
+            left_columns = column_values.get(left_name, {})
+            for right_name in table_names[i + 1:]:
+                right_columns = column_values.get(right_name, {})
+                if _has_value_overlap(left_columns, right_columns, threshold):
+                    add(left_name, right_name)
+    return pairs
+
+
+def _has_value_overlap(
+    left_columns: Mapping[str, Sequence[object]],
+    right_columns: Mapping[str, Sequence[object]],
+    threshold: float,
+) -> bool:
+    for left_values in left_columns.values():
+        if not left_values:
+            continue
+        for right_values in right_columns.values():
+            if not right_values:
+                continue
+            if jaccard_similarity(left_values, right_values) >= threshold:
+                return True
+    return False

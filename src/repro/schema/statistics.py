@@ -1,0 +1,43 @@
+"""Catalog statistics (used to regenerate the paper's Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schema.catalog import Catalog
+
+
+@dataclass(frozen=True)
+class CatalogStatistics:
+    """Aggregate schema statistics of a catalog."""
+
+    num_databases: int
+    num_tables: int
+    num_columns: int
+    mean_tables_per_database: float
+    max_tables_per_database: int
+    mean_columns_per_table: float
+    num_foreign_keys: int
+
+    def as_row(self) -> tuple[int, int, int]:
+        """The ``(# DBs, # Tables, # Cols)`` triple reported in Table 2."""
+        return (self.num_databases, self.num_tables, self.num_columns)
+
+
+def describe_catalog(catalog: Catalog) -> CatalogStatistics:
+    """Compute :class:`CatalogStatistics` for ``catalog``."""
+    num_databases = len(catalog)
+    num_tables = catalog.num_tables
+    num_columns = catalog.num_columns
+    tables_per_db = [db.num_tables for db in catalog] or [0]
+    columns_per_table = [len(t.columns) for _, t in catalog.iter_tables()] or [0]
+    num_foreign_keys = sum(len(db.foreign_keys) for db in catalog)
+    return CatalogStatistics(
+        num_databases=num_databases,
+        num_tables=num_tables,
+        num_columns=num_columns,
+        mean_tables_per_database=sum(tables_per_db) / max(len(tables_per_db), 1),
+        max_tables_per_database=max(tables_per_db),
+        mean_columns_per_table=sum(columns_per_table) / max(len(columns_per_table), 1),
+        num_foreign_keys=num_foreign_keys,
+    )

@@ -1,0 +1,54 @@
+"""SQL layer: AST, parser, executor, and metadata extraction.
+
+The dialect covers the constructs produced by the synthetic workload generator
+and required by the paper's evaluation: single-database SELECT queries with
+joins, filters, aggregation, grouping, HAVING, ordering, limits, DISTINCT, and
+(uncorrelated) IN / scalar sub-queries.
+
+The dataset-adaptation step of the paper (§4.1.2) parses every SQL query to
+extract its metadata (tables and columns) and forms the SQL query schema
+``S = <D, T>`` from it; :func:`extract_metadata` provides that capability.
+"""
+
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InSubquery,
+    Join,
+    Literal,
+    OrderItem,
+    ScalarSubquery,
+    SelectItem,
+    SelectStatement,
+    Star,
+    TableRef,
+)
+from repro.sql.errors import SqlError, SqlExecutionError, SqlParseError
+from repro.sql.parser import parse_sql
+from repro.sql.printer import to_sql
+from repro.sql.executor import SqlExecutor
+from repro.sql.metadata import QueryMetadata, extract_metadata
+
+__all__ = [
+    "BinaryOp",
+    "ColumnRef",
+    "FuncCall",
+    "InSubquery",
+    "Join",
+    "Literal",
+    "OrderItem",
+    "ScalarSubquery",
+    "SelectItem",
+    "SelectStatement",
+    "Star",
+    "TableRef",
+    "SqlError",
+    "SqlExecutionError",
+    "SqlParseError",
+    "parse_sql",
+    "to_sql",
+    "SqlExecutor",
+    "QueryMetadata",
+    "extract_metadata",
+]

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the SQL layer."""
+
+from __future__ import annotations
+
+
+class SqlError(Exception):
+    """Base class for all SQL-layer errors."""
+
+
+class SqlParseError(SqlError):
+    """Raised when a query cannot be parsed.
+
+    The dataset-adaptation step excludes queries that cannot be parsed
+    (paper §4.1.2), so callers typically catch this error and drop the
+    offending instance.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class SqlExecutionError(SqlError):
+    """Raised when a parsed query cannot be executed against an instance.
+
+    Execution-accuracy evaluation treats an execution error on the predicted
+    query as an incorrect prediction rather than a crash.
+    """

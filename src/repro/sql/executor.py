@@ -1,0 +1,388 @@
+"""SQL executor: evaluate a :class:`SelectStatement` against a database instance.
+
+The executor supports the dialect produced by the synthetic workload generator
+and the simulated LLM: inner equi-joins, boolean filters, aggregation with
+grouping and HAVING, ordering, limits, DISTINCT, and uncorrelated IN / scalar
+sub-queries.  It validates every referenced table and column against the
+database schema so that hallucinated schema elements in generated SQL fail
+loudly (and count against execution accuracy), exactly as they would against a
+real DBMS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.instance import DatabaseInstance
+from repro.engine.relation import Relation, Row
+from repro.engine.values import Value, canonical, compare_values, values_equal
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FuncCall,
+    InSubquery,
+    Join,
+    Literal,
+    OrderItem,
+    ScalarSubquery,
+    SelectItem,
+    SelectStatement,
+    Star,
+)
+from repro.sql.errors import SqlExecutionError
+from repro.sql.parser import parse_sql
+from repro.sql.printer import to_sql
+
+
+@dataclass
+class SqlExecutor:
+    """Executes SELECT statements against one :class:`DatabaseInstance`."""
+
+    instance: DatabaseInstance
+
+    # -- public API -----------------------------------------------------------
+    def execute_sql(self, sql: str) -> Relation:
+        """Parse and execute a SQL string."""
+        return self.execute(parse_sql(sql))
+
+    def execute(self, statement: SelectStatement) -> Relation:
+        """Execute a parsed statement, returning the result relation."""
+        source = self._build_source(statement)
+        if statement.where is not None:
+            where = statement.where
+            source = source.filter(lambda row: _truthy(self._evaluate(where, source, row)))
+        if statement.has_aggregates() or statement.group_by:
+            result = self._execute_grouped(statement, source)
+        else:
+            result = self._execute_plain(statement, source)
+        if statement.distinct:
+            result = result.distinct()
+        if statement.limit is not None:
+            result = result.limit(statement.limit)
+        return result
+
+    # -- FROM / JOIN ------------------------------------------------------------
+    def _build_source(self, statement: SelectStatement) -> Relation:
+        relation = self._scan(statement.from_table.table, statement.from_table.binding,
+                              statement.from_table.database)
+        for join in statement.joins:
+            right = self._scan(join.table.table, join.table.binding, join.table.database)
+            relation = self._apply_join(relation, right, join)
+        return relation
+
+    def _scan(self, table: str, binding: str, database: str | None) -> Relation:
+        if database is not None and database != self.instance.name:
+            raise SqlExecutionError(
+                f"query references database {database!r} but executing against "
+                f"{self.instance.name!r}"
+            )
+        if not self.instance.schema.has_table(table):
+            raise SqlExecutionError(
+                f"unknown table {table!r} in database {self.instance.name!r}"
+            )
+        return self.instance.scan(table, alias=binding)
+
+    def _apply_join(self, left: Relation, right: Relation, join: Join) -> Relation:
+        condition = join.condition
+        if not isinstance(condition.left, ColumnRef) or not isinstance(condition.right, ColumnRef):
+            raise SqlExecutionError("JOIN conditions must compare two columns")
+        # The ON clause may name the keys in either order; resolve each side
+        # against the relation it actually belongs to, preferring the order as
+        # written and falling back to the swapped assignment.
+        for first, second in ((condition.left, condition.right), (condition.right, condition.left)):
+            left_column = _resolve_column(left, first)
+            right_column = _resolve_column(right, second)
+            if left_column is not None and right_column is not None:
+                return left.hash_join(right, left_column, right_column)
+        raise SqlExecutionError(
+            f"cannot resolve join condition {to_sql_condition(condition)}"
+        )
+
+    # -- plain (non-aggregated) SELECT ------------------------------------------
+    def _execute_plain(self, statement: SelectStatement, source: Relation) -> Relation:
+        ordered = self._order_rows(statement, source)
+        names = [self._output_name(item, i) for i, item in enumerate(statement.select_items)]
+        rows: list[Row] = []
+        for row in ordered.rows:
+            rows.append(tuple(
+                self._evaluate(item.expression, ordered, row)
+                for item in statement.select_items
+            ))
+        return Relation(names, rows)
+
+    def _order_rows(self, statement: SelectStatement, source: Relation) -> Relation:
+        if not statement.order_by:
+            return source
+        import functools
+
+        def compare(left: Row, right: Row) -> int:
+            for item in statement.order_by:
+                left_value = self._evaluate(item.expression, source, left)
+                right_value = self._evaluate(item.expression, source, right)
+                result = compare_values(left_value, right_value)
+                if result != 0:
+                    return -result if item.descending else result
+            return 0
+
+        return Relation(list(source.columns), sorted(source.rows, key=functools.cmp_to_key(compare)))
+
+    # -- aggregated SELECT --------------------------------------------------------
+    def _execute_grouped(self, statement: SelectStatement, source: Relation) -> Relation:
+        group_names = [ref.qualified() for ref in statement.group_by]
+        if statement.group_by:
+            groups = source.group_rows([self._resolve_name(source, ref) for ref in statement.group_by])
+        else:
+            groups = [((), list(source.rows))]
+            group_names = []
+        # Evaluate HAVING per group, then projections and ordering.
+        surviving: list[tuple[tuple[object, ...], list[Row]]] = []
+        for key, rows in groups:
+            if statement.having is not None:
+                value = self._evaluate_grouped(statement.having, source, rows)
+                if not _truthy(value):
+                    continue
+            surviving.append((key, rows))
+        # Ordering keys may be aggregates or grouped columns.
+        if statement.order_by:
+            surviving = self._order_groups(statement, source, surviving)
+        names = [self._output_name(item, i) for i, item in enumerate(statement.select_items)]
+        result_rows: list[Row] = []
+        for _, rows in surviving:
+            result_rows.append(tuple(
+                self._evaluate_grouped(item.expression, source, rows)
+                for item in statement.select_items
+            ))
+        del group_names  # group keys only influence evaluation, not output shape
+        return Relation(names, result_rows)
+
+    def _order_groups(
+        self,
+        statement: SelectStatement,
+        source: Relation,
+        groups: list[tuple[tuple[object, ...], list[Row]]],
+    ) -> list[tuple[tuple[object, ...], list[Row]]]:
+        import functools
+
+        def compare(left: tuple[tuple[object, ...], list[Row]],
+                    right: tuple[tuple[object, ...], list[Row]]) -> int:
+            for item in statement.order_by:
+                left_value = self._evaluate_grouped(item.expression, source, left[1])
+                right_value = self._evaluate_grouped(item.expression, source, right[1])
+                result = compare_values(left_value, right_value)
+                if result != 0:
+                    return -result if item.descending else result
+            return 0
+
+        return sorted(groups, key=functools.cmp_to_key(compare))
+
+    # -- expression evaluation ------------------------------------------------------
+    def _evaluate(self, expression: Expression, relation: Relation, row: Row) -> Value:
+        if isinstance(expression, Literal):
+            return expression.value
+        if isinstance(expression, ColumnRef):
+            index = self._column_index(relation, expression)
+            return row[index]
+        if isinstance(expression, BinaryOp):
+            return self._evaluate_binary(expression, relation, row)
+        if isinstance(expression, InSubquery):
+            value = self._evaluate(expression.expression, relation, row)
+            members = self._subquery_values(expression.subquery)
+            contained = any(values_equal(value, member) for member in members)
+            return (not contained) if expression.negated else contained
+        if isinstance(expression, ScalarSubquery):
+            return self._scalar_subquery(expression.subquery)
+        if isinstance(expression, FuncCall):
+            raise SqlExecutionError(
+                f"aggregate {expression.name.upper()} used outside of an aggregated query"
+            )
+        if isinstance(expression, Star):
+            raise SqlExecutionError("'*' can only appear inside COUNT()")
+        raise SqlExecutionError(f"cannot evaluate expression {expression!r}")
+
+    def _evaluate_binary(self, expression: BinaryOp, relation: Relation, row: Row) -> Value:
+        operator = expression.operator
+        if operator in ("and", "or"):
+            left = _truthy(self._evaluate(expression.left, relation, row))
+            right = _truthy(self._evaluate(expression.right, relation, row))
+            return (left and right) if operator == "and" else (left or right)
+        left_value = self._evaluate(expression.left, relation, row)
+        right_value = self._evaluate(expression.right, relation, row)
+        return _compare(operator, left_value, right_value)
+
+    def _evaluate_grouped(self, expression: Expression, relation: Relation, rows: list[Row]) -> Value:
+        if isinstance(expression, FuncCall):
+            return self._aggregate(expression, relation, rows)
+        if isinstance(expression, BinaryOp):
+            operator = expression.operator
+            if operator in ("and", "or"):
+                left = _truthy(self._evaluate_grouped(expression.left, relation, rows))
+                right = _truthy(self._evaluate_grouped(expression.right, relation, rows))
+                return (left and right) if operator == "and" else (left or right)
+            left_value = self._evaluate_grouped(expression.left, relation, rows)
+            right_value = self._evaluate_grouped(expression.right, relation, rows)
+            return _compare(operator, left_value, right_value)
+        if isinstance(expression, (Literal, ScalarSubquery, InSubquery)):
+            representative = rows[0] if rows else tuple(None for _ in relation.columns)
+            return self._evaluate(expression, relation, representative)
+        if isinstance(expression, ColumnRef):
+            # Grouped columns have a single value per group; take it from the
+            # first row (SQL engines require the column to be in GROUP BY).
+            if not rows:
+                return None
+            index = self._column_index(relation, expression)
+            return rows[0][index]
+        raise SqlExecutionError(f"cannot evaluate grouped expression {expression!r}")
+
+    def _aggregate(self, call: FuncCall, relation: Relation, rows: list[Row]) -> Value:
+        if isinstance(call.argument, Star):
+            values: list[Value] = [1] * len(rows)
+        else:
+            index = self._column_index(relation, call.argument)
+            values = [row[index] for row in rows if row[index] is not None]
+        if call.distinct:
+            seen: set[object] = set()
+            unique: list[Value] = []
+            for value in values:
+                key = canonical(value)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(value)
+            values = unique
+        name = call.name
+        if name == "count":
+            return len(values)
+        if not values:
+            return None
+        if name == "sum":
+            return _numeric_sum(values)
+        if name == "avg":
+            total = _numeric_sum(values)
+            return None if total is None else total / len(values)
+        if name == "min":
+            return _extreme(values, smallest=True)
+        if name == "max":
+            return _extreme(values, smallest=False)
+        raise SqlExecutionError(f"unsupported aggregate {name!r}")
+
+    # -- sub-queries -----------------------------------------------------------------
+    def _subquery_values(self, statement: SelectStatement) -> list[Value]:
+        result = self.execute(statement)
+        if len(result.columns) != 1:
+            raise SqlExecutionError("IN sub-query must project exactly one column")
+        return [row[0] for row in result.rows]
+
+    def _scalar_subquery(self, statement: SelectStatement) -> Value:
+        result = self.execute(statement)
+        if len(result.columns) != 1:
+            raise SqlExecutionError("scalar sub-query must project exactly one column")
+        if not result.rows:
+            return None
+        return result.rows[0][0]
+
+    # -- name resolution ----------------------------------------------------------------
+    def _column_index(self, relation: Relation, ref: ColumnRef) -> int:
+        try:
+            return relation.column_index(ref.qualified())
+        except KeyError:
+            pass
+        try:
+            return relation.column_index(ref.name)
+        except KeyError as error:
+            raise SqlExecutionError(str(error)) from None
+
+    def _resolve_name(self, relation: Relation, ref: ColumnRef) -> str:
+        return relation.columns[self._column_index(relation, ref)]
+
+    def _output_name(self, item: SelectItem, position: int) -> str:
+        if item.alias:
+            return item.alias
+        expression = item.expression
+        if isinstance(expression, ColumnRef):
+            return expression.name
+        if isinstance(expression, FuncCall):
+            argument = "*" if isinstance(expression.argument, Star) else expression.argument.name
+            return f"{expression.name}_{argument}"
+        return f"column_{position}"
+
+
+# -- helpers -------------------------------------------------------------------
+def _truthy(value: Value) -> bool:
+    if value is None:
+        return False
+    return bool(value)
+
+
+def _compare(operator: str, left: Value, right: Value) -> Value:
+    if left is None or right is None:
+        return False
+    if operator == "like":
+        return _like(str(left), str(right))
+    ordering = compare_values(left, right)
+    if operator == "=":
+        return ordering == 0
+    if operator in ("!=", "<>"):
+        return ordering != 0
+    if operator == "<":
+        return ordering < 0
+    if operator == "<=":
+        return ordering <= 0
+    if operator == ">":
+        return ordering > 0
+    if operator == ">=":
+        return ordering >= 0
+    raise SqlExecutionError(f"unsupported comparison operator {operator!r}")
+
+
+def _like(value: str, pattern: str) -> bool:
+    import re as _re
+
+    regex = _re.escape(pattern).replace(r"%", ".*").replace(r"_", ".")
+    return _re.fullmatch(regex, value, flags=_re.IGNORECASE) is not None
+
+
+def _numeric_sum(values: list[Value]) -> Value:
+    total = 0.0
+    saw_float = False
+    for value in values:
+        if isinstance(value, bool):
+            total += int(value)
+        elif isinstance(value, (int, float)):
+            saw_float = saw_float or isinstance(value, float)
+            total += value
+        else:
+            raise SqlExecutionError(f"cannot SUM non-numeric value {value!r}")
+    return total if saw_float else int(total)
+
+
+def _extreme(values: list[Value], smallest: bool) -> Value:
+    best = values[0]
+    for value in values[1:]:
+        ordering = compare_values(value, best)
+        if (smallest and ordering < 0) or (not smallest and ordering > 0):
+            best = value
+    return best
+
+
+def to_sql_condition(condition: BinaryOp) -> str:
+    """Readable rendering of a join condition used in error messages."""
+    from repro.sql.printer import to_sql as _  # noqa: F401 - keep printer import local
+
+    left = condition.left.qualified() if isinstance(condition.left, ColumnRef) else repr(condition.left)
+    right = condition.right.qualified() if isinstance(condition.right, ColumnRef) else repr(condition.right)
+    return f"{left} {condition.operator} {right}"
+
+
+def _resolve_column(relation: Relation, ref: ColumnRef) -> str | None:
+    """Resolve ``ref`` to one of ``relation``'s column names, or ``None``.
+
+    Qualified references must match their qualifier exactly; unqualified
+    references match any single column with that name.
+    """
+    if ref.table is not None:
+        qualified = ref.qualified()
+        return qualified if qualified in relation.columns else None
+    try:
+        return relation.columns[relation.column_index(ref.name)]
+    except KeyError:
+        return None

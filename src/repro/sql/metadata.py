@@ -1,0 +1,104 @@
+"""Query metadata extraction.
+
+The dataset-adaptation procedure of the paper (§4.1.2) uses a SQL parser to
+extract the tables and columns referenced by each gold query, then combines
+the target database with that metadata to form the SQL query schema
+``S = <D, T>`` of the instance.  The schema questioner additionally consumes
+the referenced columns to generate richer pseudo-questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FuncCall,
+    InSubquery,
+    ScalarSubquery,
+    SelectStatement,
+)
+from repro.sql.parser import parse_sql
+
+
+@dataclass
+class QueryMetadata:
+    """Tables and columns referenced by a query.
+
+    ``tables`` maps each referenced table to the set of its columns mentioned
+    anywhere in the query (projection, filters, joins, grouping, ordering,
+    nested sub-queries).  ``aliases`` records alias -> table bindings.
+    """
+
+    tables: dict[str, set[str]] = field(default_factory=dict)
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self.tables)
+
+    def columns_of(self, table: str) -> set[str]:
+        return self.tables.get(table, set())
+
+    def add_table(self, table: str) -> None:
+        self.tables.setdefault(table, set())
+
+    def add_column(self, table: str | None, column: str) -> None:
+        if table is None:
+            # Unqualified column: attribute it to every table (callers that
+            # need precision always qualify; the router only needs tables).
+            for columns in self.tables.values():
+                columns.add(column)
+            return
+        self.tables.setdefault(table, set()).add(column)
+
+
+def extract_metadata(query: str | SelectStatement) -> QueryMetadata:
+    """Extract :class:`QueryMetadata` from SQL text or a parsed statement."""
+    statement = parse_sql(query) if isinstance(query, str) else query
+    metadata = QueryMetadata()
+    _collect(statement, metadata)
+    return metadata
+
+
+def _collect(statement: SelectStatement, metadata: QueryMetadata) -> None:
+    alias_map: dict[str, str] = {}
+    for ref in statement.table_refs():
+        metadata.add_table(ref.table)
+        alias_map[ref.binding] = ref.table
+        metadata.aliases[ref.binding] = ref.table
+
+    def resolve(table: str | None) -> str | None:
+        if table is None:
+            return None
+        return alias_map.get(table, table)
+
+    def visit(expression: Expression | None) -> None:
+        if expression is None:
+            return
+        if isinstance(expression, ColumnRef):
+            metadata.add_column(resolve(expression.table), expression.name)
+        elif isinstance(expression, FuncCall):
+            if isinstance(expression.argument, ColumnRef):
+                metadata.add_column(resolve(expression.argument.table), expression.argument.name)
+        elif isinstance(expression, BinaryOp):
+            visit(expression.left)
+            visit(expression.right)
+        elif isinstance(expression, InSubquery):
+            visit(expression.expression)
+            _collect(expression.subquery, metadata)
+        elif isinstance(expression, ScalarSubquery):
+            _collect(expression.subquery, metadata)
+
+    for item in statement.select_items:
+        visit(item.expression)
+    for join in statement.joins:
+        visit(join.condition)
+    visit(statement.where)
+    for column in statement.group_by:
+        visit(column)
+    visit(statement.having)
+    for order in statement.order_by:
+        visit(order.expression)

@@ -1,0 +1,113 @@
+"""Render a SQL AST back to SQL text.
+
+The printer produces a canonical single-line SQL string.  Round-tripping
+``parse_sql(to_sql(statement))`` yields an equal AST, which the test suite and
+the hypothesis property tests rely on.
+"""
+
+from __future__ import annotations
+
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FuncCall,
+    InSubquery,
+    Join,
+    Literal,
+    OrderItem,
+    ScalarSubquery,
+    SelectItem,
+    SelectStatement,
+    Star,
+    TableRef,
+)
+
+
+def to_sql(statement: SelectStatement) -> str:
+    """Render ``statement`` as a SQL string."""
+    parts = ["SELECT"]
+    if statement.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_select_item(item) for item in statement.select_items))
+    parts.append("FROM")
+    parts.append(_table_ref(statement.from_table))
+    for join in statement.joins:
+        parts.append(_join(join))
+    if statement.where is not None:
+        parts.append("WHERE")
+        parts.append(_expression(statement.where))
+    if statement.group_by:
+        parts.append("GROUP BY")
+        parts.append(", ".join(_expression(col) for col in statement.group_by))
+    if statement.having is not None:
+        parts.append("HAVING")
+        parts.append(_expression(statement.having))
+    if statement.order_by:
+        parts.append("ORDER BY")
+        parts.append(", ".join(_order_item(item) for item in statement.order_by))
+    if statement.limit is not None:
+        parts.append(f"LIMIT {statement.limit}")
+    return " ".join(parts)
+
+
+def _select_item(item: SelectItem) -> str:
+    text = _expression(item.expression)
+    if item.alias:
+        text += f" AS {item.alias}"
+    return text
+
+
+def _table_ref(ref: TableRef) -> str:
+    name = f"{ref.database}.{ref.table}" if ref.database else ref.table
+    if ref.alias:
+        name += f" AS {ref.alias}"
+    return name
+
+
+def _join(join: Join) -> str:
+    return f"JOIN {_table_ref(join.table)} ON {_expression(join.condition)}"
+
+
+def _order_item(item: OrderItem) -> str:
+    direction = "DESC" if item.descending else "ASC"
+    return f"{_expression(item.expression)} {direction}"
+
+
+def _expression(expression: Expression) -> str:
+    if isinstance(expression, Star):
+        return "*"
+    if isinstance(expression, ColumnRef):
+        return expression.qualified()
+    if isinstance(expression, Literal):
+        return _literal(expression)
+    if isinstance(expression, FuncCall):
+        inner = _expression(expression.argument)
+        if expression.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{expression.name.upper()}({inner})"
+    if isinstance(expression, BinaryOp):
+        left = _expression(expression.left)
+        right = _expression(expression.right)
+        operator = expression.operator.upper() if expression.operator in ("and", "or", "like") else expression.operator
+        if expression.operator in ("and", "or"):
+            return f"({left} {operator} {right})"
+        return f"{left} {operator} {right}"
+    if isinstance(expression, InSubquery):
+        keyword = "NOT IN" if expression.negated else "IN"
+        return f"{_expression(expression.expression)} {keyword} ({to_sql(expression.subquery)})"
+    if isinstance(expression, ScalarSubquery):
+        return f"({to_sql(expression.subquery)})"
+    raise TypeError(f"cannot print expression of type {type(expression).__name__}")
+
+
+def _literal(literal: Literal) -> str:
+    value = literal.value
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"

@@ -1,0 +1,50 @@
+"""Lightweight timing helpers used by the efficiency experiments (Table 5)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates wall-clock time across named sections.
+
+    The efficiency experiment measures build time and query throughput for
+    each routing method; a stopwatch keeps those measurements explicit and
+    testable instead of scattering ``time.perf_counter()`` calls around.
+    """
+
+    sections: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block and add it to section ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.sections[name] = self.sections.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Total seconds accumulated for ``name`` (0.0 if never measured)."""
+        return self.sections.get(name, 0.0)
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per measurement for ``name``."""
+        count = self.counts.get(name, 0)
+        if count == 0:
+            return 0.0
+        return self.sections[name] / count
+
+    def throughput(self, name: str, items: int) -> float:
+        """Items per second processed during section ``name``."""
+        elapsed = self.total(name)
+        if elapsed <= 0.0:
+            return float("inf") if items else 0.0
+        return items / elapsed

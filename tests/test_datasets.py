@@ -1,0 +1,211 @@
+"""Tests for the synthetic dataset substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import (
+    DOMAINS,
+    DatabaseGenerator,
+    GeneratorConfig,
+    WorkloadConfig,
+    WorkloadGenerator,
+    adapt_examples,
+    build_bird_like,
+    build_fiben_like,
+    dataset_statistics,
+    make_realistic_variant,
+    make_synonym_variant,
+)
+from repro.datasets.vocabulary import domain_by_name
+from repro.sql import SqlExecutor, extract_metadata
+from repro.sql.errors import SqlError
+
+
+class TestDomains:
+    def test_domains_are_unique(self):
+        names = [domain.name for domain in DOMAINS]
+        assert len(names) == len(set(names))
+        assert len(names) >= 20
+
+    def test_relations_reference_existing_entities(self):
+        for domain in DOMAINS:
+            entity_names = {entity.name for entity in domain.entities}
+            for relation in domain.relations:
+                assert relation.parent in entity_names
+                assert relation.child in entity_names
+
+    def test_domain_lookup(self):
+        assert domain_by_name("concert_singer").name == "concert_singer"
+        with pytest.raises(KeyError):
+            domain_by_name("nope")
+
+
+class TestDatabaseGenerator:
+    @pytest.fixture(scope="class")
+    def generated(self):
+        generator = DatabaseGenerator(GeneratorConfig(rows_per_table=10, auxiliary_tables=2), seed=3)
+        return generator.generate(domain_by_name("concert_singer"))
+
+    def test_entity_tables_created(self, generated):
+        assert set(generated.entity_tables) == {"singer", "concert", "stadium"}
+
+    def test_junction_table_and_foreign_keys(self, generated):
+        database = generated.database
+        assert database.has_table("singer_in_concert")
+        junction_fks = database.foreign_keys_of("singer_in_concert")
+        assert len(junction_fks) == 2
+
+    def test_auxiliary_tables_attached(self, generated):
+        assert len(generated.auxiliary_tables) == 2
+        for table_name, (entity, _) in generated.auxiliary_tables.items():
+            assert generated.database.has_table(table_name)
+            assert entity in generated.entity_tables
+
+    def test_rows_respect_foreign_keys(self, generated):
+        instance = generated.instance
+        singer_ids = {row[0] for row in instance.tables[generated.entity_tables["singer"]]}
+        concert_table = generated.database.table(generated.entity_tables["concert"])
+        stadium_fk_index = concert_table.column_names.index("stadium_id")
+        stadium_ids = {row[0] for row in instance.tables[generated.entity_tables["stadium"]]}
+        for row in instance.tables[concert_table.name]:
+            assert row[stadium_fk_index] in stadium_ids
+        for row in instance.tables["singer_in_concert"]:
+            assert row[0] in singer_ids
+
+    def test_prefix_applies_to_all_tables(self):
+        generator = DatabaseGenerator(GeneratorConfig(rows_per_table=5), seed=1)
+        generated = generator.generate(domain_by_name("world_geography"), table_prefix="p1_")
+        assert all(table.name.startswith("p1_") for table in generated.database.tables)
+
+    def test_extra_columns_widen_tables(self):
+        wide = DatabaseGenerator(GeneratorConfig(rows_per_table=5, extra_columns=4), seed=1)
+        narrow = DatabaseGenerator(GeneratorConfig(rows_per_table=5), seed=1)
+        domain = domain_by_name("banking_finance")
+        assert wide.generate(domain).database.num_columns > narrow.generate(domain).database.num_columns
+
+
+class TestWorkloadGenerator:
+    @pytest.fixture(scope="class")
+    def examples_and_generated(self):
+        generator = DatabaseGenerator(GeneratorConfig(rows_per_table=20), seed=5)
+        generated = generator.generate(domain_by_name("university"))
+        workload = WorkloadGenerator(WorkloadConfig(examples_per_database=25), seed=5)
+        return workload.generate(generated, domain_by_name("university")), generated
+
+    def test_examples_generated(self, examples_and_generated):
+        examples, _ = examples_and_generated
+        assert len(examples) == 25
+
+    def test_sql_parses_and_matches_declared_tables(self, examples_and_generated):
+        examples, _ = examples_and_generated
+        for example in examples:
+            metadata = extract_metadata(example.sql)
+            assert set(metadata.table_names) == set(example.tables)
+
+    def test_sql_executes(self, examples_and_generated):
+        examples, generated = examples_and_generated
+        executor = SqlExecutor(generated.instance)
+        for example in examples:
+            executor.execute_sql(example.sql)  # must not raise
+
+    def test_questions_are_nonempty_and_distinctive(self, examples_and_generated):
+        examples, _ = examples_and_generated
+        assert all(len(example.question.split()) >= 4 for example in examples)
+        assert len({example.question for example in examples}) > len(examples) // 2
+
+    def test_template_variety(self, examples_and_generated):
+        examples, _ = examples_and_generated
+        assert len({example.template for example in examples}) >= 4
+
+
+class TestCollections:
+    def test_tiny_collection_structure(self, tiny_dataset):
+        stats = dataset_statistics(tiny_dataset)
+        assert stats["databases"] == 6
+        assert stats["tables"] > 6
+        assert stats["train"] > 0 and stats["test"] > 0
+
+    def test_train_and_test_databases_disjoint(self, tiny_dataset):
+        train_dbs = {example.database for example in tiny_dataset.train_examples}
+        test_dbs = {example.database for example in tiny_dataset.test_examples}
+        assert not (train_dbs & test_dbs)
+
+    def test_examples_reference_catalog(self, tiny_dataset):
+        for example in tiny_dataset.test_examples:
+            database = tiny_dataset.catalog.database(example.database)
+            for table in example.tables:
+                assert database.has_table(table)
+
+    def test_all_example_sql_executes(self, tiny_dataset):
+        failures = 0
+        for example in tiny_dataset.train_examples + tiny_dataset.test_examples:
+            executor = SqlExecutor(tiny_dataset.instances.instance(example.database))
+            try:
+                executor.execute_sql(example.sql)
+            except SqlError:
+                failures += 1
+        assert failures == 0
+
+    def test_bird_like_is_wider(self):
+        bird = build_bird_like(scale=0.3)
+        stats = dataset_statistics(bird)
+        assert stats["columns"] / max(stats["tables"], 1) > 4.0
+
+    def test_fiben_like_single_database(self):
+        fiben = build_fiben_like(scale=0.3)
+        assert fiben.num_databases == 1
+        assert len(fiben.train_examples) == 0
+        assert fiben.num_tables > 20
+
+
+class TestRobustness:
+    def test_synonym_variant_changes_questions_not_catalog(self, tiny_dataset):
+        variant = make_synonym_variant(tiny_dataset)
+        assert variant.catalog is tiny_dataset.catalog
+        changed = sum(
+            1 for original, perturbed in zip(tiny_dataset.test_examples, variant.test_examples)
+            if original.question != perturbed.question
+        )
+        assert changed > len(tiny_dataset.test_examples) // 3
+        for original, perturbed in zip(tiny_dataset.test_examples, variant.test_examples):
+            assert original.sql == perturbed.sql
+            assert original.tables == perturbed.tables
+
+    def test_realistic_variant_removes_column_words(self, tiny_dataset):
+        variant = make_realistic_variant(tiny_dataset)
+        assert len(variant.test_examples) == len(tiny_dataset.test_examples)
+        assert any(original.question != perturbed.question
+                   for original, perturbed in zip(tiny_dataset.test_examples, variant.test_examples))
+
+    def test_variants_are_deterministic(self, tiny_dataset):
+        first = [e.question for e in make_synonym_variant(tiny_dataset, seed=5).test_examples]
+        second = [e.question for e in make_synonym_variant(tiny_dataset, seed=5).test_examples]
+        assert first == second
+
+
+class TestAdaptation:
+    def test_adapt_examples_rederives_tables(self, tiny_dataset):
+        adapted, report = adapt_examples(tiny_dataset.test_examples)
+        assert report.kept == report.total
+        assert report.dropped_unparseable == 0
+        for example in adapted:
+            assert example.tables == tuple(sorted(example.tables))
+
+    def test_unparseable_sql_is_dropped(self, tiny_dataset):
+        from repro.datasets.examples import Example
+
+        broken = Example(question="q", database="d", tables=("t",), sql="NOT SQL AT ALL")
+        adapted, report = adapt_examples([broken])
+        assert adapted == [] and report.dropped_unparseable == 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_generator_is_deterministic_per_seed(seed):
+    domain = domain_by_name("hotel_bookings")
+    first = DatabaseGenerator(GeneratorConfig(rows_per_table=5), seed=seed).generate(domain)
+    second = DatabaseGenerator(GeneratorConfig(rows_per_table=5), seed=seed).generate(domain)
+    assert first.database.table_names == second.database.table_names
+    assert first.instance.tables == second.instance.tables

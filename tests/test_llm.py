@@ -1,0 +1,224 @@
+"""Tests for prompt construction, the simulated LLM, and EX evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.examples import Example
+from repro.engine.instance import CatalogInstance
+from repro.llm import (
+    CostModel,
+    OracleSchemaProvider,
+    PromptStrategy,
+    SchemaAgnosticNL2SQL,
+    SimulatedLLM,
+    build_best_schema_prompt,
+    build_cot_selection_prompt,
+    build_multiple_schema_prompt,
+    count_tokens,
+    evaluate_nl2sql,
+)
+from repro.llm.sqlgen import HeuristicSqlGenerator
+from repro.retrieval.base import CandidateSchema, RoutingPrediction
+from repro.sql import SqlExecutor, parse_sql
+
+
+class TestCostModel:
+    def test_count_tokens_scales_with_words(self):
+        assert count_tokens("one two three") > count_tokens("one")
+
+    def test_cost_positive_and_output_weighted(self):
+        model = CostModel()
+        assert model.cost(1000, 0) == pytest.approx(0.0005)
+        assert model.cost(0, 1000) == pytest.approx(0.0015)
+        assert model.cost_of_call("a prompt here", "select 1") > 0
+
+
+class TestPrompts:
+    def test_best_schema_prompt_contains_tables_and_question(self, concert_database):
+        prompt = build_best_schema_prompt(concert_database, ["singer", "concert"],
+                                          "Which singers held concerts?")
+        assert "singer(" in prompt.text and "concert(" in prompt.text
+        assert "Which singers held concerts?" in prompt.text
+        assert prompt.text.strip().endswith("SELECT")
+
+    def test_columns_filter_limits_columns(self, concert_database):
+        prompt = build_best_schema_prompt(concert_database, ["singer"], "q",
+                                          columns_filter={"singer": ["name"]})
+        assert "age" not in prompt.text
+
+    def test_multiple_schema_prompt_concatenates(self, concert_database, world_database):
+        prompt = build_multiple_schema_prompt(
+            [(concert_database, ["singer"]), (world_database, ["city"])], "q")
+        assert "singer(" in prompt.text and "city(" in prompt.text
+
+    def test_cot_prompt_has_identifiers(self, concert_database, world_database):
+        prompt = build_cot_selection_prompt(
+            [(concert_database, ["singer"]), (world_database, ["city"])], "q")
+        assert "[1]" in prompt and "[2]" in prompt
+
+
+class TestHeuristicGenerator:
+    @pytest.fixture
+    def generator(self):
+        return HeuristicSqlGenerator()
+
+    def test_count_question(self, generator, concert_database, concert_instance):
+        sql = generator.generate("How many singers are there whose country is France?",
+                                 concert_database, ["singer"])
+        result = SqlExecutor(concert_instance).execute_sql(sql)
+        assert result.rows == [(2,)]
+
+    def test_filter_question(self, generator, concert_database, concert_instance):
+        sql = generator.generate("What is the name of the singer whose country is Japan?",
+                                 concert_database, ["singer"])
+        result = SqlExecutor(concert_instance).execute_sql(sql)
+        assert result.rows == [("Bob",)]
+
+    def test_superlative_projects_identity(self, generator, concert_database, concert_instance):
+        sql = generator.generate("Which singer has the highest age?",
+                                 concert_database, ["singer"])
+        result = SqlExecutor(concert_instance).execute_sql(sql)
+        assert result.rows == [("Bob",)]
+
+    def test_join_question_uses_junction(self, generator, concert_database, concert_instance):
+        sql = generator.generate(
+            "Which singers are linked to the concert whose venue is Grand Arena?",
+            concert_database, ["singer", "singer_in_concert", "concert"])
+        result = SqlExecutor(concert_instance).execute_sql(sql)
+        assert sorted(row[0] for row in result.rows) == ["Alice", "Bob"]
+
+    def test_missing_connector_degrades(self, generator, concert_database):
+        # Without the junction table the generator cannot express the join.
+        sql = generator.generate(
+            "Which singers are linked to the concert whose venue is Grand Arena?",
+            concert_database, ["singer", "concert"])
+        statement = parse_sql(sql)
+        assert statement.from_table.table in ("singer", "concert")
+
+    def test_generates_parseable_sql_for_varied_questions(self, generator, concert_database):
+        questions = [
+            "What is the average age of all singers?",
+            "Which concert has the lowest year?",
+            "Show the venue of concerts belonging to the singer whose name is Alice.",
+            "Which singer has the most concerts?",
+        ]
+        for question in questions:
+            sql = generator.generate(question, concert_database, concert_database.table_names)
+            parse_sql(sql)  # must not raise
+
+    def test_empty_schema(self, generator, concert_database):
+        assert generator.generate("anything", concert_database, []) == "SELECT 1"
+
+
+class TestSimulatedLLMAndPipeline:
+    @pytest.fixture
+    def environment(self, small_catalog, concert_instance, world_database):
+        from repro.engine.instance import DatabaseInstance
+
+        instances = CatalogInstance(catalog=small_catalog, instances={
+            "concert_singer": concert_instance,
+            "world": DatabaseInstance(schema=world_database),
+        })
+        llm = SimulatedLLM(catalog=small_catalog)
+        return small_catalog, instances, llm
+
+    @pytest.fixture
+    def example(self):
+        return Example(
+            question="What is the name of the singer whose country is Japan?",
+            database="concert_singer",
+            tables=("singer",),
+            sql="SELECT name FROM singer WHERE country = 'Japan'",
+            columns=("singer.name", "singer.country"),
+        )
+
+    def test_llm_tracks_cost(self, environment, concert_database):
+        _, _, llm = environment
+        _, response = llm.generate_sql("How many singers are there?", concert_database, ["singer"])
+        assert response.cost > 0
+        assert llm.total_cost == pytest.approx(response.cost)
+        llm.reset_usage()
+        assert llm.total_cost == 0.0
+
+    def test_select_schema_prefers_matching_candidate(self, environment, concert_database,
+                                                      world_database):
+        _, _, llm = environment
+        index, _ = llm.select_schema("which cities have the largest population",
+                                     [(concert_database, ["singer"]), (world_database, ["city"])])
+        assert index == 1
+
+    def test_best_schema_pipeline_correct_with_gold_routing(self, environment, example):
+        catalog, instances, llm = environment
+        pipeline = SchemaAgnosticNL2SQL(catalog, instances, llm)
+        prediction = RoutingPrediction(
+            ranked_databases=["concert_singer"],
+            candidate_schemas=[CandidateSchema("concert_singer", ("singer",), 1.0)],
+        )
+        result = pipeline.answer(example, prediction=prediction)
+        assert result.correct
+        assert result.cost > 0
+
+    def test_pipeline_wrong_database_is_incorrect(self, environment, example):
+        catalog, instances, llm = environment
+        pipeline = SchemaAgnosticNL2SQL(catalog, instances, llm)
+        prediction = RoutingPrediction(
+            ranked_databases=["world"],
+            candidate_schemas=[CandidateSchema("world", ("city",), 1.0)],
+        )
+        result = pipeline.answer(example, prediction=prediction)
+        assert not result.correct
+
+    def test_human_in_the_loop_selects_gold_candidate(self, environment, example):
+        catalog, instances, llm = environment
+        pipeline = SchemaAgnosticNL2SQL(catalog, instances, llm,
+                                        strategy=PromptStrategy.HUMAN_IN_THE_LOOP)
+        prediction = RoutingPrediction(
+            ranked_databases=["world", "concert_singer"],
+            candidate_schemas=[
+                CandidateSchema("world", ("city",), 2.0),
+                CandidateSchema("concert_singer", ("singer",), 1.0),
+            ],
+        )
+        result = pipeline.answer(example, prediction=prediction)
+        assert result.predicted_database == "concert_singer"
+        assert result.correct
+
+    def test_answer_requires_router_or_prediction(self, environment, example):
+        catalog, instances, llm = environment
+        pipeline = SchemaAgnosticNL2SQL(catalog, instances, llm)
+        with pytest.raises(ValueError):
+            pipeline.answer(example)
+
+    def test_answer_with_schema_oracle(self, environment, example):
+        catalog, instances, llm = environment
+        pipeline = SchemaAgnosticNL2SQL(catalog, instances, llm)
+        result = pipeline.answer_with_schema(example, "concert_singer", ["singer"])
+        assert result.correct
+
+    def test_evaluate_nl2sql_aggregates(self, environment, example):
+        catalog, instances, llm = environment
+        prediction = RoutingPrediction(
+            ranked_databases=["concert_singer"],
+            candidate_schemas=[CandidateSchema("concert_singer", ("singer",), 1.0)],
+        )
+        pipeline = SchemaAgnosticNL2SQL(catalog, instances, llm,
+                                        router=lambda question: prediction)
+        evaluation = evaluate_nl2sql(pipeline, [example, example])
+        assert evaluation.execution_accuracy == 1.0
+        assert evaluation.total_cost > 0
+        assert evaluation.as_row()["EX"] == 100.0
+
+
+class TestOracleProvider:
+    def test_oracle_levels(self, tiny_dataset):
+        oracle = OracleSchemaProvider(tiny_dataset.catalog)
+        example = tiny_dataset.test_examples[0]
+        database, tables, columns = oracle.gold_tables_and_columns(example)
+        assert database == example.database and set(tables) == set(example.tables)
+        assert columns
+        _, all_tables = oracle.gold_database(example)
+        assert set(tables) <= set(all_tables)
+        five = oracle.five_databases(example)
+        assert len(five) == min(5, len(tiny_dataset.catalog))
+        assert example.database in [name for name, _ in five]

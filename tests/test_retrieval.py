@@ -1,0 +1,179 @@
+"""Tests for the retrieval baselines and routing metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.retrieval import (
+    BM25Retriever,
+    ContrastiveTableRetriever,
+    CrushRetriever,
+    DenseRetriever,
+    RankedTable,
+    RoutingPrediction,
+    SchemaHallucinator,
+    build_table_documents,
+    database_recall_at_k,
+    evaluate_routing,
+    mean_average_precision,
+    prediction_from_table_ranking,
+    table_recall_at_k,
+)
+from repro.retrieval.base import CandidateSchema
+
+
+@pytest.fixture
+def documents(small_catalog):
+    return build_table_documents(small_catalog)
+
+
+class TestDocuments:
+    def test_one_document_per_table(self, documents, small_catalog):
+        assert len(documents) == small_catalog.num_tables
+
+    def test_document_text_contains_columns(self, documents):
+        by_key = documents.by_key()
+        singer = by_key[("concert_singer", "singer")]
+        assert "country" in singer.tokens()
+
+    def test_expansion(self, documents):
+        expanded = documents.expand({("concert_singer", "singer"): ["who sings the most"]})
+        assert "sings" in expanded.by_key()[("concert_singer", "singer")].tokens()
+
+
+class TestRetrievers:
+    @pytest.mark.parametrize("retriever_factory", [
+        BM25Retriever,
+        DenseRetriever,
+        lambda: CrushRetriever(BM25Retriever()),
+        ContrastiveTableRetriever,
+    ])
+    def test_gold_table_is_retrieved_for_obvious_question(self, documents, retriever_factory):
+        retriever = retriever_factory()
+        retriever.index(documents)
+        ranked = retriever.rank_tables("how many cities are in each country", top_k=5)
+        assert ("world", "city") in [item.key for item in ranked] or \
+               ("world", "country") in [item.key for item in ranked]
+
+    def test_rank_before_index_raises(self):
+        with pytest.raises(RuntimeError):
+            BM25Retriever().rank_tables("anything")
+        with pytest.raises(RuntimeError):
+            DenseRetriever().rank_tables("anything")
+
+    def test_bm25_prefers_lexical_match(self, documents):
+        retriever = BM25Retriever()
+        retriever.index(documents)
+        top = retriever.rank_tables("singer age country", top_k=1)[0]
+        assert top.key == ("concert_singer", "singer")
+
+    def test_dense_maps_known_paraphrases_to_concepts(self, documents):
+        from repro.retrieval.dense import _CONCEPT_MAP, map_to_concepts
+
+        # Pick a paraphrase word the encoder's (partial) lexicon actually knows
+        # and check it collapses onto its canonical schema word.
+        paraphrase, canonical = next(
+            (word, concept) for word, concept in _CONCEPT_MAP.items() if word != concept)
+        assert map_to_concepts([paraphrase]) == [canonical]
+        retriever = DenseRetriever()
+        retriever.index(documents)
+        assert len(retriever.rank_tables("which singer is the oldest", top_k=3)) == 3
+
+    def test_crush_hallucinator_normalises_paraphrases(self):
+        elements = SchemaHallucinator().hallucinate("which vocalist held a show")
+        assert elements  # never empty
+        assert all(element not in ("which", "a") for element in elements)
+
+    def test_crush_accumulates_cost(self, documents):
+        retriever = CrushRetriever(BM25Retriever())
+        retriever.index(documents)
+        retriever.rank_tables("how many cities are there")
+        assert retriever.total_cost > 0
+
+    def test_dtr_fine_tune_requires_pairs(self, documents):
+        retriever = ContrastiveTableRetriever()
+        retriever.index(documents)
+        with pytest.raises(ValueError):
+            retriever.fine_tune([("q", ("missing_db", "missing_table"))])
+
+    def test_dtr_fine_tuning_changes_embeddings(self, documents):
+        retriever = ContrastiveTableRetriever()
+        retriever.index(documents)
+        before = retriever._document_embeddings.copy()
+        pairs = [("which singers perform", ("concert_singer", "singer")),
+                 ("how many concerts", ("concert_singer", "concert")),
+                 ("population of cities", ("world", "city")),
+                 ("countries by continent", ("world", "country"))] * 4
+        losses = retriever.fine_tune(pairs)
+        assert len(losses) == retriever.config.epochs
+        assert retriever._document_embeddings.shape[1] == retriever.config.embedding_dim
+        assert before.shape != retriever._document_embeddings.shape or \
+               not (before == retriever._document_embeddings).all()
+
+
+class TestRanking:
+    def test_database_ranking_by_mean_score(self):
+        ranked = [
+            RankedTable("db_a", "t1", 3.0),
+            RankedTable("db_b", "t2", 2.5),
+            RankedTable("db_b", "t3", 2.4),
+            RankedTable("db_a", "t4", 0.1),
+        ]
+        prediction = prediction_from_table_ranking(ranked, max_candidates=2)
+        assert prediction.ranked_databases[0] == "db_b"  # mean 2.45 > mean 1.55
+        assert prediction.candidate_schemas[0].database == "db_b"
+        assert prediction.candidate_schemas[0].tables == ("t2", "t3")
+
+    def test_prediction_helpers(self):
+        prediction = RoutingPrediction(
+            ranked_databases=["a", "b"],
+            ranked_tables=[RankedTable("a", "t", 1.0)],
+            candidate_schemas=[CandidateSchema("a", ("t",), 1.0)],
+        )
+        assert prediction.top_databases(1) == ["a"]
+        assert prediction.top_tables(5) == [("a", "t")]
+        assert prediction.best_schema.database == "a"
+
+
+class TestMetrics:
+    @pytest.fixture
+    def prediction(self):
+        return RoutingPrediction(
+            ranked_databases=["gold_db", "other"],
+            ranked_tables=[
+                RankedTable("gold_db", "a", 3.0),
+                RankedTable("other", "x", 2.0),
+                RankedTable("gold_db", "b", 1.0),
+            ],
+            candidate_schemas=[CandidateSchema("gold_db", ("a", "b"), 3.0)],
+        )
+
+    def test_database_recall(self, prediction):
+        assert database_recall_at_k(prediction, "gold_db", 1) == 1.0
+        assert database_recall_at_k(prediction, "other", 1) == 0.0
+        assert database_recall_at_k(prediction, "other", 5) == 1.0
+
+    def test_table_recall(self, prediction):
+        assert table_recall_at_k(prediction, "gold_db", ["a", "b"], 1) == 0.5
+        assert table_recall_at_k(prediction, "gold_db", ["a", "b"], 3) == 1.0
+        assert table_recall_at_k(prediction, "gold_db", [], 3) == 1.0
+
+    def test_mean_average_precision(self, prediction):
+        # a at rank 1 (precision 1), b at rank 3 (precision 2/3) -> AP = 5/6.
+        assert mean_average_precision(prediction, "gold_db", ["a", "b"]) == pytest.approx(5 / 6)
+        assert mean_average_precision(prediction, "gold_db", []) == 1.0
+
+    def test_evaluate_routing_aggregates(self, prediction):
+        scores = evaluate_routing([prediction, prediction], ["gold_db", "other"],
+                                  [["a", "b"], ["x"]])
+        assert scores.count == 2
+        assert scores.database_recall[1] == 0.5
+        row = scores.as_row()
+        assert "db_recall@1" in row and "table_map" in row
+
+    def test_evaluate_routing_validates_alignment(self, prediction):
+        with pytest.raises(ValueError):
+            evaluate_routing([prediction], ["a", "b"], [["t"]])
+
+    def test_evaluate_routing_empty(self):
+        assert evaluate_routing([], [], []).count == 0
