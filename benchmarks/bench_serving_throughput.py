@@ -1,0 +1,68 @@
+"""Serving throughput: batched + cached service vs naive per-question routing.
+
+The workload repeats questions (Zipf-skewed, as real user traffic does), so
+the route cache absorbs the head of the distribution and the micro-batcher
+amortizes encoding across concurrent misses.  The benchmark prints the usual
+result table plus a one-line JSON summary (``SERVING_SUMMARY ...``) with
+routes/sec, cache hit rate, and p95 latency so CI can scrape it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.serving import LoadGenerator, WorkloadConfig
+from repro.utils.tables import ResultTable
+
+#: Shared workload shape: many repeats over a small distinct-question head.
+WORKLOAD = WorkloadConfig(num_requests=150, unique_fraction=0.1, skew=1.0,
+                          seed=17, concurrency=4)
+
+
+def test_serving_throughput(benchmark, spider_context, spider_serving):
+    router = spider_context.copilot.router
+    questions = [example.question for example in spider_context.test_examples()[:40]]
+    generator = LoadGenerator(questions, WORKLOAD)
+    workload = generator.workload()
+
+    # Naive baseline: one synchronous route() call per request, no reuse.
+    started = time.perf_counter()
+    for question in workload:
+        router.route(question)
+    naive_elapsed = max(time.perf_counter() - started, 1e-9)
+    naive_rps = len(workload) / naive_elapsed
+
+    # The service: checkpoint-loaded router behind cache + micro-batcher.
+    report = benchmark.pedantic(lambda: generator.run(spider_serving.submit),
+                                rounds=1, iterations=1)
+    stats = spider_serving.stats()
+
+    table = ResultTable(
+        title="Serving throughput: micro-batched + cached vs naive routing",
+        columns=["mode", "routes_per_sec", "p95_ms", "cache_hit_rate"],
+    )
+    table.add_row("naive_route", round(naive_rps, 1),
+                  round(naive_elapsed / len(workload) * 1000.0, 3), "-")
+    table.add_row("serving", round(report.throughput_rps, 1),
+                  report.latency["p95_ms"], stats["cache_hit_rate"])
+    print()
+    print(table.render())
+
+    summary = {
+        "workload_requests": report.num_requests,
+        "naive_routes_per_sec": round(naive_rps, 1),
+        "serving_routes_per_sec": round(report.throughput_rps, 1),
+        "speedup": round(report.throughput_rps / naive_rps, 2),
+        "cache_hit_rate": stats["cache_hit_rate"],
+        "p95_latency_ms": report.latency["p95_ms"],
+        "mean_batch_size": stats["mean_batch_size"],
+        "errors": report.errors,
+    }
+    print("SERVING_SUMMARY " + json.dumps(summary, sort_keys=True))
+
+    assert report.errors == 0
+    assert stats["cache_hit_rate"] > 0.0
+    # The acceptance bar: batching + caching must at least double throughput
+    # on a repeated-question workload.
+    assert report.throughput_rps >= 2.0 * naive_rps, summary

@@ -10,6 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments import default_config, get_context
+from repro.serving import RoutingService, ServingConfig, save_router
 
 
 @pytest.fixture(scope="session")
@@ -30,3 +31,19 @@ def bird_context(experiment_config):
 @pytest.fixture(scope="session")
 def fiben_context(experiment_config):
     return get_context("fiben_like", experiment_config)
+
+
+@pytest.fixture(scope="session")
+def spider_serving(spider_context, tmp_path_factory):
+    """A routing service booted from a checkpoint of the spider-like copilot.
+
+    Going through the on-disk checkpoint (rather than wrapping the in-memory
+    router) exercises the full deploy path that ``bench_serving_throughput``
+    measures: save -> load -> serve.
+    """
+    checkpoint = save_router(spider_context.copilot.router,
+                             tmp_path_factory.mktemp("serving") / "router-ckpt")
+    service = RoutingService.from_checkpoint(checkpoint, ServingConfig(
+        max_batch_size=8, max_wait_seconds=0.002, cache_size=4096))
+    yield service
+    service.close()

@@ -1,0 +1,153 @@
+"""Minimal in-tree PEP 517/660 build backend (stdlib only).
+
+The standard setuptools backend cannot build editable installs on
+environments without the third-party ``wheel`` package.  This repo builds its
+neural substrate from scratch on numpy; its build backend follows suit: a
+wheel is just a zip archive with a ``dist-info`` directory, and an *editable*
+wheel is that plus a ``.pth`` file pointing at ``src/``.  Both are produced
+here with nothing beyond the standard library, so ``pip install -e .`` works
+on a bare Python.
+
+Metadata is read from ``pyproject.toml``'s ``[project]`` table.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import io
+import os
+import tarfile
+import tomllib
+import zipfile
+
+_GENERATOR = "repro-build-backend (1.0)"
+
+
+def _project() -> dict:
+    with open("pyproject.toml", "rb") as handle:
+        return tomllib.load(handle)["project"]
+
+
+def _dist_name(project: dict) -> str:
+    return project["name"].replace("-", "_")
+
+
+def _metadata_text(project: dict) -> str:
+    lines = [
+        "Metadata-Version: 2.1",
+        f"Name: {project['name']}",
+        f"Version: {project['version']}",
+    ]
+    if "description" in project:
+        lines.append(f"Summary: {project['description']}")
+    if "requires-python" in project:
+        lines.append(f"Requires-Python: {project['requires-python']}")
+    for requirement in project.get("dependencies", ()):
+        lines.append(f"Requires-Dist: {requirement}")
+    for extra, requirements in project.get("optional-dependencies", {}).items():
+        lines.append(f"Provides-Extra: {extra}")
+        for requirement in requirements:
+            lines.append(f'Requires-Dist: {requirement}; extra == "{extra}"')
+    readme = project.get("readme")
+    body = ""
+    if isinstance(readme, str) and os.path.isfile(readme):
+        lines.append("Description-Content-Type: text/markdown")
+        with open(readme, "r", encoding="utf-8") as handle:
+            body = "\n" + handle.read()
+    return "\n".join(lines) + "\n" + body
+
+
+def _wheel_text(editable: bool) -> str:
+    return (
+        "Wheel-Version: 1.0\n"
+        f"Generator: {_GENERATOR}\n"
+        "Root-Is-Purelib: true\n"
+        "Tag: py3-none-any\n"
+    )
+
+
+def _record_entry(path: str, data: bytes) -> str:
+    digest = base64.urlsafe_b64encode(hashlib.sha256(data).digest()).rstrip(b"=")
+    return f"{path},sha256={digest.decode('ascii')},{len(data)}"
+
+
+def _write_wheel(wheel_directory: str, files: dict[str, bytes], project: dict) -> str:
+    dist = _dist_name(project)
+    version = project["version"]
+    info = f"{dist}-{version}.dist-info"
+    files = dict(files)
+    files[f"{info}/METADATA"] = _metadata_text(project).encode("utf-8")
+    files[f"{info}/WHEEL"] = _wheel_text(editable=False).encode("utf-8")
+    record = [_record_entry(path, data) for path, data in files.items()]
+    record.append(f"{info}/RECORD,,")
+    files[f"{info}/RECORD"] = ("\n".join(record) + "\n").encode("utf-8")
+    wheel_name = f"{dist}-{version}-py3-none-any.whl"
+    os.makedirs(wheel_directory, exist_ok=True)
+    with zipfile.ZipFile(os.path.join(wheel_directory, wheel_name), "w",
+                         zipfile.ZIP_DEFLATED) as archive:
+        for path, data in files.items():
+            archive.writestr(path, data)
+    return wheel_name
+
+
+def _package_files() -> dict[str, bytes]:
+    files: dict[str, bytes] = {}
+    for root, directories, names in os.walk("src"):
+        directories[:] = [name for name in directories if name != "__pycache__"]
+        for name in sorted(names):
+            if name.endswith(".pyc"):
+                continue
+            full = os.path.join(root, name)
+            archive_path = os.path.relpath(full, "src").replace(os.sep, "/")
+            with open(full, "rb") as handle:
+                files[archive_path] = handle.read()
+    return files
+
+
+# -- PEP 517 hooks -------------------------------------------------------------
+def get_requires_for_build_wheel(config_settings=None):  # noqa: D103
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):  # noqa: D103
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):  # noqa: D103
+    return []
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    """A regular wheel containing everything under ``src/``."""
+    return _write_wheel(wheel_directory, _package_files(), _project())
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    """PEP 660 editable wheel: a ``.pth`` entry pointing at ``src/``."""
+    project = _project()
+    pth = os.path.abspath("src") + "\n"
+    files = {f"__editable__.{_dist_name(project)}.pth": pth.encode("utf-8")}
+    return _write_wheel(wheel_directory, files, project)
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    """Source archive: the tracked sources plus PKG-INFO."""
+    project = _project()
+    base = f"{_dist_name(project)}-{project['version']}"
+    sdist_name = f"{base}.tar.gz"
+    os.makedirs(sdist_directory, exist_ok=True)
+    with tarfile.open(os.path.join(sdist_directory, sdist_name), "w:gz") as archive:
+        metadata = _metadata_text(project).encode("utf-8")
+        info = tarfile.TarInfo(f"{base}/PKG-INFO")
+        info.size = len(metadata)
+        archive.addfile(info, io.BytesIO(metadata))
+        for path in ("pyproject.toml", "setup.py", "README.md",
+                     "repro_build_backend.py"):
+            if os.path.isfile(path):
+                archive.add(path, arcname=f"{base}/{path}")
+        for archive_path, data in _package_files().items():
+            info = tarfile.TarInfo(f"{base}/src/{archive_path}")
+            info.size = len(data)
+            archive.addfile(info, io.BytesIO(data))
+    return sdist_name

@@ -1,0 +1,9 @@
+"""Compatibility shim for `python setup.py develop/install` workflows.
+
+pip itself uses the in-tree PEP 517 backend (`repro_build_backend.py`);
+all metadata lives in pyproject.toml, which setuptools >= 61 reads here.
+"""
+
+from setuptools import setup
+
+setup()

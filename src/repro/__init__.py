@@ -25,6 +25,9 @@ every substrate it depends on, from scratch:
   strategies and cost model.
 * :mod:`repro.experiments` -- harnesses that regenerate every table and figure
   of the paper's evaluation section.
+* :mod:`repro.serving` -- deployment: versioned router checkpoints, a
+  thread-safe route cache, micro-batched inference, metrics, and a load
+  generator behind the :class:`RoutingService` façade.
 
 Top-level names are imported lazily so that ``import repro`` stays cheap and
 sub-packages can be used independently.
@@ -48,6 +51,8 @@ _EXPORTS = {
     "SchemaGraph": "repro.core",
     "SchemaRoute": "repro.core",
     "SchemaRouter": "repro.core",
+    "RoutingService": "repro.serving",
+    "ServingConfig": "repro.serving",
 }
 
 __all__ = ["__version__", *sorted(_EXPORTS)]

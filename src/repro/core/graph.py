@@ -84,6 +84,39 @@ class SchemaGraph:
                 graph.add_edge(right_node, left_node, relation="joinable")
         return cls(catalog=catalog, graph=graph)
 
+    @classmethod
+    def from_components(cls, catalog: Catalog,
+                        joinable_edges: "list[tuple[str, str, str]] | tuple" = ()) -> "SchemaGraph":
+        """Rebuild a graph from a catalog plus explicit joinable table pairs.
+
+        This is the checkpoint-restore path: a saved graph records its
+        ``(database, left_table, right_table)`` joinable pairs so the exact
+        edge set is reproduced without re-running the Jaccard heuristic (which
+        would need the original table instances).
+        """
+        graph = nx.DiGraph()
+        graph.add_node(ROOT_NODE, kind=NodeKind.ROOT)
+        for database in catalog:
+            db_node = database_node(database.name)
+            graph.add_node(db_node, kind=NodeKind.DATABASE, name=database.name)
+            graph.add_edge(ROOT_NODE, db_node, relation="includes")
+            for table in database.tables:
+                t_node = table_node(database.name, table.name)
+                graph.add_node(t_node, kind=NodeKind.TABLE, name=table.name,
+                               database=database.name)
+                graph.add_edge(db_node, t_node, relation="includes")
+        for database_name, left, right in joinable_edges:
+            left_node = table_node(database_name, left)
+            right_node = table_node(database_name, right)
+            if left_node not in graph or right_node not in graph:
+                raise ValueError(
+                    f"joinable edge references unknown table: {database_name}.{left}"
+                    f" <-> {database_name}.{right}"
+                )
+            graph.add_edge(left_node, right_node, relation="joinable")
+            graph.add_edge(right_node, left_node, relation="joinable")
+        return cls(catalog=catalog, graph=graph)
+
     # -- queries ------------------------------------------------------------------
     @property
     def root(self) -> tuple[str, ...]:
@@ -167,6 +200,21 @@ class SchemaGraph:
             parent[find(left)] = find(right)
         roots = {find(table) for table in table_list}
         return len(roots) == 1
+
+    def joinable_edges(self) -> list[tuple[str, str, str]]:
+        """Undirected joinable table pairs as ``(database, left, right)``, each once."""
+        edges: list[tuple[str, str, str]] = []
+        seen: set[tuple[str, frozenset[str]]] = set()
+        for source, target, data in self.graph.edges(data=True):
+            if data.get("relation") != "joinable":
+                continue
+            database = source[1]
+            key = (database, frozenset((source[2], target[2])))
+            if key in seen:
+                continue
+            seen.add(key)
+            edges.append((database, source[2], target[2]))
+        return edges
 
     # -- statistics -----------------------------------------------------------------
     def num_nodes(self) -> int:

@@ -113,6 +113,12 @@ class SchemaRouter:
             raise RuntimeError("the router has not been trained yet")
         return self._target_vocabulary
 
+    @property
+    def model(self) -> Seq2SeqModel:
+        if self._model is None:
+            raise RuntimeError("the router has not been trained yet")
+        return self._model
+
     def num_parameters(self) -> int:
         return self._model.num_parameters() if self._model is not None else 0
 
@@ -163,39 +169,81 @@ class SchemaRouter:
             self._constraint = None
         return history.epoch_losses
 
+    # -- persistence --------------------------------------------------------------------
+    def restore(self, model: Seq2SeqModel, source_vocabulary: Vocabulary,
+                target_vocabulary: Vocabulary,
+                training_losses: list[float] | None = None) -> None:
+        """Install a trained state (the checkpoint-load path, no training run)."""
+        self._source_vocabulary = source_vocabulary
+        self._target_vocabulary = target_vocabulary
+        self._model = model
+        self.training_losses = list(training_losses or [])
+        if self.config.constrained_decoding:
+            self._constraint = GraphConstrainedDecoding(self.graph, target_vocabulary)
+        else:
+            self._constraint = None
+
+    @classmethod
+    def from_checkpoint(cls, path: str) -> "SchemaRouter":
+        """Load a trained router saved with :func:`repro.serving.save_router`."""
+        from repro.serving.checkpoint import load_router
+
+        return load_router(path)
+
     # -- inference ----------------------------------------------------------------------
     def route(self, question: str, max_candidates: int | None = None) -> list[SchemaRoute]:
         """Decode candidate schemata for ``question`` (best first)."""
+        return self.route_batch([question], max_candidates=max_candidates)[0]
+
+    def route_batch(self, questions: list[str],
+                    max_candidates: int | None = None) -> list[list[SchemaRoute]]:
+        """Route several questions, encoding them as one batch.
+
+        The source encoding (the only batchable matmul on the inference path)
+        runs once for the whole batch, and the tokenizers and decoding
+        constraint are set up once instead of per question; beam decoding then
+        proceeds per item.  Results match per-question :meth:`route` calls.
+        """
         if self._model is None:
             raise RuntimeError("the router has not been trained yet")
+        if not questions:
+            return []
         max_candidates = max_candidates or self.config.max_candidate_schemas
         source_tokenizer = WordTokenizer(self.source_vocabulary)
         target_tokenizer = WordTokenizer(self.target_vocabulary)
-        source_ids = source_tokenizer.encode_text(question,
-                                                  max_length=self.config.max_source_length)
         constraint = self._constraint if self.config.constrained_decoding else None
         if self.config.diverse_beam:
-            hypotheses = diverse_beam_search(
-                self._model, source_ids,
-                self.target_vocabulary.bos_id, self.target_vocabulary.eos_id,
-                num_beams=self.config.num_beams, num_groups=self.config.beam_groups,
-                diversity_penalty=self.config.diversity_penalty,
-                max_length=self.config.max_decode_length, constraint=constraint,
-            )
+            num_groups = self.config.beam_groups
+            diversity_penalty = self.config.diversity_penalty
         else:
+            num_groups, diversity_penalty = 1, 0.0
+        encoded_batch = self._model.encode_numpy_batch([
+            source_tokenizer.encode_text(question, max_length=self.config.max_source_length)
+            for question in questions
+        ])
+        results: list[list[SchemaRoute]] = []
+        for encoded in encoded_batch:
             hypotheses = diverse_beam_search(
-                self._model, source_ids,
+                self._model, (),
                 self.target_vocabulary.bos_id, self.target_vocabulary.eos_id,
-                num_beams=self.config.num_beams, num_groups=1, diversity_penalty=0.0,
+                num_beams=self.config.num_beams, num_groups=num_groups,
+                diversity_penalty=diversity_penalty,
                 max_length=self.config.max_decode_length, constraint=constraint,
+                encoded=encoded,
             )
-        if not hypotheses:
-            hypotheses = [greedy_decode(self._model, source_ids,
-                                        self.target_vocabulary.bos_id,
-                                        self.target_vocabulary.eos_id,
-                                        max_length=self.config.max_decode_length,
-                                        constraint=constraint)]
-        # Parse hypotheses to schemata and combine those sharing a database.
+            if not hypotheses:
+                hypotheses = [greedy_decode(self._model, (),
+                                            self.target_vocabulary.bos_id,
+                                            self.target_vocabulary.eos_id,
+                                            max_length=self.config.max_decode_length,
+                                            constraint=constraint, encoded=encoded)]
+            results.append(self._combine_hypotheses(hypotheses, target_tokenizer,
+                                                    max_candidates))
+        return results
+
+    def _combine_hypotheses(self, hypotheses: list, target_tokenizer: WordTokenizer,
+                            max_candidates: int) -> list[SchemaRoute]:
+        """Parse hypotheses to schemata and combine those sharing a database."""
         combined: dict[str, SchemaRoute] = {}
         order: list[str] = []
         for hypothesis in hypotheses:

@@ -67,9 +67,15 @@ def _masked_log_probabilities(log_probabilities: np.ndarray, prefix: Sequence[in
 
 
 def greedy_decode(model: Seq2SeqModel, source_ids: Sequence[int], bos_id: int, eos_id: int,
-                  max_length: int = 48, constraint: Constraint | None = None) -> BeamHypothesis:
-    """Greedy decoding; returns a single hypothesis (without BOS/EOS tokens)."""
-    encoded = model.encode_numpy(list(source_ids))
+                  max_length: int = 48, constraint: Constraint | None = None,
+                  encoded: EncodedSource | None = None) -> BeamHypothesis:
+    """Greedy decoding; returns a single hypothesis (without BOS/EOS tokens).
+
+    ``encoded`` lets callers reuse a precomputed encoder output (batched
+    serving encodes many questions in one matmul and decodes each separately).
+    """
+    if encoded is None:
+        encoded = model.encode_numpy(list(source_ids))
     state = encoded.state
     previous = bos_id
     tokens: list[int] = []
@@ -101,11 +107,14 @@ def diverse_beam_search(model: Seq2SeqModel, source_ids: Sequence[int], bos_id: 
                         num_beams: int = 10, num_groups: int = 10,
                         diversity_penalty: float = 2.0, max_length: int = 48,
                         constraint: Constraint | None = None,
-                        length_penalty: float = 0.0) -> list[BeamHypothesis]:
+                        length_penalty: float = 0.0,
+                        encoded: EncodedSource | None = None) -> list[BeamHypothesis]:
     """Diverse (group) beam search.
 
     ``num_beams`` must be divisible by ``num_groups``; the paper uses 10 beams
-    in 10 groups with a diversity penalty of 2.0 (§4.1.5).
+    in 10 groups with a diversity penalty of 2.0 (§4.1.5).  ``encoded`` lets
+    callers reuse a precomputed encoder output instead of re-encoding
+    ``source_ids``.
     """
     if num_beams <= 0:
         raise ValueError("num_beams must be positive")
@@ -113,7 +122,8 @@ def diverse_beam_search(model: Seq2SeqModel, source_ids: Sequence[int], bos_id: 
         raise ValueError("num_beams must be a positive multiple of num_groups")
     beams_per_group = num_beams // num_groups
 
-    encoded = model.encode_numpy(list(source_ids))
+    if encoded is None:
+        encoded = model.encode_numpy(list(source_ids))
     groups: list[list[_Beam]] = [
         [_Beam(state=encoded.state.copy())] for _ in range(num_groups)
     ]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Iterator
 
 import numpy as np
@@ -55,6 +56,24 @@ class Module:
                     f"shape mismatch for {name}: {parameter.data.shape} vs {state[name].shape}"
                 )
             parameter.data = state[name].copy()
+
+    def save_state_npz(self, path: str | Path) -> Path:
+        """Write the state dict to a compressed ``.npz`` archive.
+
+        Returns the actual file written: numpy appends ``.npz`` to names that
+        lack it, so the suffix is normalised up front.
+        """
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_name(path.name + ".npz")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(path, **self.state_dict())
+        return path
+
+    def load_state_npz(self, path: str | Path) -> None:
+        """Load parameters saved with :meth:`save_state_npz` (strict)."""
+        with np.load(Path(path)) as archive:
+            self.load_state_dict({name: archive[name] for name in archive.files})
 
 
 def _parameters_of(value: object, seen: set[int]) -> Iterator[Parameter]:

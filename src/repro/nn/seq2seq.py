@@ -136,6 +136,34 @@ class Seq2SeqModel(Module):
         state = np.tanh(pooled @ self.state_init.weight.data + self.state_init.bias.data)
         return EncodedSource(memory=memory, mask=np.ones(len(ids)), state=state)
 
+    def encode_numpy_batch(self, source_ids_batch: list[list[int]]) -> list[EncodedSource]:
+        """Encode several source sequences at once for decoding.
+
+        The embedding lookup and encoder projection run as one padded batched
+        matmul (the expensive part), then each item's memory is sliced back to
+        its true length so downstream decoding is indistinguishable from
+        :meth:`encode_numpy`.
+        """
+        if not source_ids_batch:
+            return []
+        sequences = [np.asarray(ids if len(ids) else [0], dtype=np.int64)
+                     for ids in source_ids_batch]
+        max_length = max(len(sequence) for sequence in sequences)
+        padded = np.zeros((len(sequences), max_length), dtype=np.int64)
+        for row, sequence in enumerate(sequences):
+            padded[row, : len(sequence)] = sequence
+        embedded = self.source_embedding.weight.data[padded]            # (B, T, d)
+        memory = np.tanh(embedded @ self.encoder_projection.weight.data
+                         + self.encoder_projection.bias.data)           # (B, T, h)
+        encoded: list[EncodedSource] = []
+        for row, sequence in enumerate(sequences):
+            item_memory = memory[row, : len(sequence)]
+            pooled = item_memory.mean(axis=0)
+            state = np.tanh(pooled @ self.state_init.weight.data + self.state_init.bias.data)
+            encoded.append(EncodedSource(memory=item_memory,
+                                         mask=np.ones(len(sequence)), state=state))
+        return encoded
+
     def decode_step_numpy(self, encoded: EncodedSource, state: np.ndarray,
                           previous_id: int) -> tuple[np.ndarray, np.ndarray]:
         """One inference decoder step; returns (log-probabilities ``(V,)``, new state)."""

@@ -9,7 +9,7 @@ the router can generalise across identifiers that share words.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Iterable
 
 from repro.utils.text import tokenize_text
@@ -95,6 +95,26 @@ class Vocabulary:
 
     def tokens(self) -> list[str]:
         return list(self._id_to_token)
+
+    # -- persistence ----------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-serializable snapshot preserving the exact token <-> id mapping."""
+        return {"specials": asdict(self.specials), "tokens": list(self._id_to_token)}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Vocabulary":
+        """Rebuild a vocabulary from :meth:`to_payload`, ids preserved."""
+        specials = SpecialTokens(**payload["specials"])
+        tokens = list(payload["tokens"])
+        reserved = specials.as_tuple()
+        if tuple(tokens[: len(reserved)]) != reserved:
+            raise ValueError(
+                f"vocabulary payload must start with the special tokens {reserved!r}"
+            )
+        vocabulary = cls(tokens[len(reserved):], specials=specials)
+        if vocabulary.tokens() != tokens:
+            raise ValueError("vocabulary payload contains duplicate tokens")
+        return vocabulary
 
 
 class WordTokenizer:

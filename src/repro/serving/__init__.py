@@ -1,0 +1,54 @@
+"""Serving subsystem: deploy a trained schema router as a service.
+
+The paper's pitch (§3.5, Table 5) is that schema routing is *compact* — a
+small model that sits in front of an LLM and answers "which database, which
+tables?" cheaply at scale.  This package supplies the production half of that
+claim:
+
+* :mod:`repro.serving.checkpoint` -- versioned on-disk router checkpoints
+  (JSON manifest + npz weights) so a service boots without retraining;
+* :mod:`repro.serving.cache` -- a thread-safe LRU route cache with TTL and
+  catalog-version invalidation;
+* :mod:`repro.serving.batcher` -- a micro-batcher coalescing concurrent
+  requests into batched decodes;
+* :mod:`repro.serving.metrics` -- QPS, latency percentiles, batch-size
+  histogram;
+* :mod:`repro.serving.service` -- :class:`RoutingService`, the façade wiring
+  all of the above behind ``submit`` / ``submit_many`` / ``stats``;
+* :mod:`repro.serving.loadgen` -- a seeded closed-loop/QPS load generator
+  used by ``benchmarks/bench_serving_throughput.py``.
+"""
+
+from repro.serving.batcher import BatcherConfig, MicroBatcher
+from repro.serving.cache import RouteCache, normalize_question
+from repro.serving.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    load_manifest,
+    load_router,
+    save_router,
+)
+from repro.serving.loadgen import LoadGenerator, LoadReport, WorkloadConfig
+from repro.serving.metrics import LatencyRecorder, MetricsRegistry
+from repro.serving.service import RoutingService, ServingConfig
+
+__all__ = [
+    "BatcherConfig",
+    "MicroBatcher",
+    "RouteCache",
+    "normalize_question",
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "load_manifest",
+    "load_router",
+    "save_router",
+    "LoadGenerator",
+    "LoadReport",
+    "WorkloadConfig",
+    "LatencyRecorder",
+    "MetricsRegistry",
+    "RoutingService",
+    "ServingConfig",
+]

@@ -1,0 +1,164 @@
+"""Seeded workload generation and load driving for the routing service.
+
+Modeled on QPS-driven workload drivers (pyrqg's ``WorkloadConfig``): a
+:class:`LoadGenerator` first materializes a deterministic request stream from
+a question pool — with Zipf-like repetition so cache behavior is realistic —
+then drives any ``submit``-style callable either closed-loop (optionally with
+several client threads) or paced at a target QPS, and reports throughput and
+latency percentiles.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.serving.metrics import LatencyRecorder
+from repro.utils.rng import SeededRng
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape of the generated request stream."""
+
+    num_requests: int = 200
+    #: Fraction of ``num_requests`` drawn as *distinct* questions; the rest
+    #: are repeats, skewed towards the head of the pool.
+    unique_fraction: float = 0.25
+    #: Zipf-like skew exponent; higher concentrates traffic on few questions.
+    skew: float = 1.0
+    seed: int = 0
+    #: "closed" (back-to-back) or "paced" (open loop at ``target_qps``).
+    mode: str = "closed"
+    target_qps: float = 0.0
+    #: Client threads for closed-loop mode.
+    concurrency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        if not 0.0 < self.unique_fraction <= 1.0:
+            raise ValueError("unique_fraction must be in (0, 1]")
+        if self.mode not in ("closed", "paced"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.mode == "paced" and self.target_qps <= 0:
+            raise ValueError("paced mode requires a positive target_qps")
+        if self.concurrency <= 0:
+            raise ValueError("concurrency must be positive")
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    num_requests: int = 0
+    errors: int = 0
+    duration_seconds: float = 0.0
+    throughput_rps: float = 0.0
+    latency: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "num_requests": self.num_requests,
+            "errors": self.errors,
+            "duration_seconds": round(self.duration_seconds, 4),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "latency": dict(self.latency),
+        }
+
+
+class LoadGenerator:
+    """Generates a deterministic workload over a question pool and drives it."""
+
+    def __init__(self, questions: Sequence[str], config: WorkloadConfig | None = None) -> None:
+        if not questions:
+            raise ValueError("the question pool must not be empty")
+        self.questions = list(questions)
+        self.config = config or WorkloadConfig()
+
+    # -- workload materialization -------------------------------------------
+    def workload(self) -> list[str]:
+        """The request stream: same config + pool => same list, always."""
+        config = self.config
+        rng = SeededRng(config.seed).child("workload")
+        pool_size = max(1, min(len(self.questions),
+                               round(config.num_requests * config.unique_fraction)))
+        pool = self.questions[:pool_size]
+        weights = [1.0 / (rank + 1) ** config.skew for rank in range(pool_size)]
+        return [rng.weighted_choice(pool, weights) for _ in range(config.num_requests)]
+
+    # -- driving -------------------------------------------------------------
+    def run(self, submit: Callable[[str], object]) -> LoadReport:
+        """Drive ``submit`` with the workload and measure it."""
+        requests = self.workload()
+        if self.config.mode == "paced":
+            return self._run_paced(submit, requests)
+        return self._run_closed(submit, requests)
+
+    def _run_closed(self, submit: Callable[[str], object],
+                    requests: list[str]) -> LoadReport:
+        recorder = LatencyRecorder(max_samples=len(requests))
+        errors = [0]
+        cursor = [0]
+        lock = threading.Lock()
+
+        def worker() -> None:
+            while True:
+                with lock:
+                    position = cursor[0]
+                    if position >= len(requests):
+                        return
+                    cursor[0] = position + 1
+                question = requests[position]
+                started = time.monotonic()
+                try:
+                    submit(question)
+                except Exception:
+                    with lock:
+                        errors[0] += 1
+                recorder.record(time.monotonic() - started)
+
+        started = time.monotonic()
+        if self.config.concurrency == 1:
+            worker()
+        else:
+            threads = [threading.Thread(target=worker, name=f"loadgen-{index}")
+                       for index in range(self.config.concurrency)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        duration = max(time.monotonic() - started, 1e-9)
+        return self._report(requests, errors[0], duration, recorder)
+
+    def _run_paced(self, submit: Callable[[str], object],
+                   requests: list[str]) -> LoadReport:
+        recorder = LatencyRecorder(max_samples=len(requests))
+        errors = 0
+        interval = 1.0 / self.config.target_qps
+        started = time.monotonic()
+        for index, question in enumerate(requests):
+            scheduled = started + index * interval
+            delay = scheduled - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            request_started = time.monotonic()
+            try:
+                submit(question)
+            except Exception:
+                errors += 1
+            recorder.record(time.monotonic() - request_started)
+        duration = max(time.monotonic() - started, 1e-9)
+        return self._report(requests, errors, duration, recorder)
+
+    def _report(self, requests: list[str], errors: int, duration: float,
+                recorder: LatencyRecorder) -> LoadReport:
+        return LoadReport(
+            num_requests=len(requests),
+            errors=errors,
+            duration_seconds=duration,
+            throughput_rps=len(requests) / duration,
+            latency=recorder.summary(),
+        )

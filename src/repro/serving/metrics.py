@@ -1,0 +1,117 @@
+"""Serving metrics: counters, latency percentiles, QPS, batch-size histogram.
+
+Everything is in-process and lock-guarded; ``snapshot()`` returns a plain
+dict so benchmarks and operators can dump it as JSON.  Latencies are kept in
+a bounded reservoir (the most recent ``max_samples`` observations) so a
+long-running service does not grow without bound.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+
+class LatencyRecorder:
+    """Bounded reservoir of latency observations with percentile queries."""
+
+    def __init__(self, max_samples: int = 8192) -> None:
+        if max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+        self._samples: deque[float] = deque(maxlen=max_samples)
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+            self.count += 1
+            self.total_seconds += seconds
+            if seconds > self.max_seconds:
+                self.max_seconds = seconds
+
+    def percentile(self, percent: float) -> float:
+        """The ``percent``-th percentile (nearest-rank) of the reservoir, in seconds."""
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return 0.0
+        rank = max(1, math.ceil(percent / 100.0 * len(samples)))
+        return samples[min(rank, len(samples)) - 1]
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean_seconds * 1000.0, 3),
+            "p50_ms": round(self.percentile(50.0) * 1000.0, 3),
+            "p95_ms": round(self.percentile(95.0) * 1000.0, 3),
+            "p99_ms": round(self.percentile(99.0) * 1000.0, 3),
+            "max_ms": round(self.max_seconds * 1000.0, 3),
+        }
+
+
+class MetricsRegistry:
+    """Counters + latency + batch-size accounting for one service instance."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._started = clock()
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self.latency = LatencyRecorder()
+        self._batch_sizes: dict[int, int] = {}
+
+    # -- recording -----------------------------------------------------------
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe_latency(self, seconds: float) -> None:
+        self.latency.record(seconds)
+
+    def observe_batch(self, size: int) -> None:
+        with self._lock:
+            self._batch_sizes[size] = self._batch_sizes.get(size, 0) + 1
+
+    # -- reading -------------------------------------------------------------
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def uptime_seconds(self) -> float:
+        return max(self._clock() - self._started, 1e-9)
+
+    def qps(self) -> float:
+        """Completed requests per second over the registry's lifetime."""
+        return self.counter("requests") / self.uptime_seconds()
+
+    def batch_size_histogram(self) -> dict[int, int]:
+        with self._lock:
+            return dict(sorted(self._batch_sizes.items()))
+
+    def mean_batch_size(self) -> float:
+        with self._lock:
+            total = sum(size * count for size, count in self._batch_sizes.items())
+            batches = sum(self._batch_sizes.values())
+        return total / batches if batches else 0.0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            counters = dict(self._counters)
+        return {
+            "uptime_seconds": round(self.uptime_seconds(), 3),
+            "counters": counters,
+            "qps": round(self.qps(), 2),
+            "latency": self.latency.summary(),
+            "batch_size_histogram": self.batch_size_histogram(),
+            "mean_batch_size": round(self.mean_batch_size(), 2),
+        }

@@ -1,0 +1,195 @@
+"""The routing service façade: checkpoint + cache + batcher + metrics.
+
+:class:`RoutingService` turns a trained :class:`SchemaRouter` (built in
+process or loaded from a checkpoint directory) into a long-lived, concurrent
+serving object:
+
+* ``submit(question)`` -- route one question (cache first, then the
+  micro-batcher, which coalesces concurrent callers into batched decodes);
+* ``submit_many(questions)`` -- route a list, answering repeats from cache and
+  batching the remainder;
+* ``stats()`` -- a JSON-friendly snapshot of QPS, latency percentiles, cache
+  hit rate, and the batch-size histogram.
+
+The service serializes access to the router (numpy decode shares lazily-built
+constraint tries), so any number of client threads may call ``submit``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.router import SchemaRoute, SchemaRouter
+from repro.serving.batcher import BatcherConfig, MicroBatcher
+from repro.serving.cache import RouteCache
+from repro.serving.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of one service instance."""
+
+    #: Default number of candidate schemata per answer (None = router default).
+    max_candidates: int | None = None
+    enable_cache: bool = True
+    cache_size: int = 2048
+    cache_ttl_seconds: float | None = None
+    enable_batching: bool = True
+    max_batch_size: int = 8
+    max_wait_seconds: float = 0.002
+
+
+class RoutingService:
+    """Serves schema-routing requests from a trained router."""
+
+    def __init__(self, router: SchemaRouter, config: ServingConfig | None = None) -> None:
+        if not router.is_trained:
+            raise ValueError("RoutingService requires a trained router "
+                             "(train with fit() or load a checkpoint)")
+        self.router = router
+        self.config = config or ServingConfig()
+        self.metrics = MetricsRegistry()
+        self.cache: RouteCache | None = None
+        if self.config.enable_cache:
+            self.cache = RouteCache(max_size=self.config.cache_size,
+                                    ttl_seconds=self.config.cache_ttl_seconds)
+        self._route_lock = threading.Lock()
+        self._batcher: MicroBatcher | None = None
+        if self.config.enable_batching:
+            self._batcher = MicroBatcher(
+                self._route_batch_locked,
+                BatcherConfig(max_batch_size=self.config.max_batch_size,
+                              max_wait_seconds=self.config.max_wait_seconds),
+                on_batch=self.metrics.observe_batch,
+            )
+        self._closed = False
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_checkpoint(cls, path: str | Path,
+                        config: ServingConfig | None = None) -> "RoutingService":
+        """Boot a service from a checkpoint directory — no training run."""
+        return cls(SchemaRouter.from_checkpoint(path), config=config)
+
+    # -- request path --------------------------------------------------------
+    def _route_batch_locked(self, questions: Sequence[str],
+                            max_candidates: int | None) -> list[list[SchemaRoute]]:
+        with self._route_lock:
+            return self.router.route_batch(list(questions), max_candidates=max_candidates)
+
+    def submit(self, question: str,
+               max_candidates: int | None = None) -> list[SchemaRoute]:
+        """Route one question (blocking); safe to call from many threads."""
+        if self._closed:
+            raise RuntimeError("the service has been closed")
+        started = time.monotonic()
+        max_candidates = max_candidates or self.config.max_candidates
+        self.metrics.increment("requests")
+        if self.cache is not None:
+            cached = self.cache.get(question, variant=max_candidates)
+            if cached is not None:
+                self.metrics.increment("cache_hits")
+                self.metrics.observe_latency(time.monotonic() - started)
+                return cached
+        if self._batcher is not None:
+            routes = self._batcher.submit(question, max_candidates).result()
+        else:
+            routes = self._route_batch_locked([question], max_candidates)[0]
+        if self.cache is not None:
+            self.cache.put(question, routes, variant=max_candidates)
+        self.metrics.increment("routed")
+        self.metrics.observe_latency(time.monotonic() - started)
+        return routes
+
+    def submit_many(self, questions: Sequence[str],
+                    max_candidates: int | None = None) -> list[list[SchemaRoute]]:
+        """Route several questions; repeats are answered from cache, the rest
+        go through the batcher as one coalesced wave."""
+        if self._closed:
+            raise RuntimeError("the service has been closed")
+        started = time.monotonic()
+        max_candidates = max_candidates or self.config.max_candidates
+        self.metrics.increment("requests", len(questions))
+        results: list[list[SchemaRoute] | None] = [None] * len(questions)
+        pending: list[int] = []
+        for index, question in enumerate(questions):
+            cached = (self.cache.get(question, variant=max_candidates)
+                      if self.cache is not None else None)
+            if cached is not None:
+                self.metrics.increment("cache_hits")
+                results[index] = cached
+            else:
+                pending.append(index)
+        # Within one call, identical pending questions are routed once.
+        first_index: dict[str, int] = {}
+        duplicates: list[tuple[int, int]] = []
+        unique_pending: list[int] = []
+        for index in pending:
+            question = questions[index]
+            if question in first_index:
+                duplicates.append((index, first_index[question]))
+            else:
+                first_index[question] = index
+                unique_pending.append(index)
+        if unique_pending:
+            if self._batcher is not None:
+                futures = [(index, self._batcher.submit(questions[index], max_candidates))
+                           for index in unique_pending]
+                for index, future in futures:
+                    results[index] = future.result()
+            else:
+                routed = self._route_batch_locked(
+                    [questions[index] for index in unique_pending], max_candidates)
+                for index, routes in zip(unique_pending, routed):
+                    results[index] = routes
+            for index in unique_pending:
+                if self.cache is not None:
+                    self.cache.put(questions[index], results[index],
+                                   variant=max_candidates)
+                self.metrics.increment("routed")
+        for index, source in duplicates:
+            results[index] = results[source]
+        elapsed = time.monotonic() - started
+        for _ in questions:
+            self.metrics.observe_latency(elapsed / max(len(questions), 1))
+        return results  # type: ignore[return-value]
+
+    # -- catalog change hook -------------------------------------------------
+    def notify_catalog_changed(self) -> None:
+        """Invalidate cached routes after the underlying catalog changes."""
+        if self.cache is not None:
+            self.cache.bump_version()
+
+    # -- introspection -------------------------------------------------------
+    def stats(self) -> dict:
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"] = self.cache.stats() if self.cache is not None else None
+        requests = snapshot["counters"].get("requests", 0)
+        hits = snapshot["counters"].get("cache_hits", 0)
+        snapshot["cache_hit_rate"] = round(hits / requests, 4) if requests else 0.0
+        if self._batcher is not None:
+            snapshot["batcher"] = {
+                "batches_dispatched": self._batcher.batches_dispatched,
+                "requests_dispatched": self._batcher.requests_dispatched,
+            }
+        else:
+            snapshot["batcher"] = None
+        return snapshot
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._batcher is not None:
+            self._batcher.close()
+
+    def __enter__(self) -> "RoutingService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

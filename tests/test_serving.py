@@ -1,0 +1,461 @@
+"""Tests for the serving subsystem: checkpoints, cache, batcher, service, loadgen."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.core import (
+    RouterConfig,
+    SchemaGraph,
+    SchemaRouter,
+    SchemaSampler,
+    SynthesisConfig,
+    TemplateQuestioner,
+    synthesize_training_data,
+)
+from repro.nn.tokenizer import Vocabulary
+from repro.schema import Catalog, Column, ColumnType, Database, ForeignKey, Table
+from repro.serving import (
+    CheckpointError,
+    LoadGenerator,
+    MicroBatcher,
+    BatcherConfig,
+    RouteCache,
+    RoutingService,
+    ServingConfig,
+    WorkloadConfig,
+    load_manifest,
+    load_router,
+    normalize_question,
+    save_router,
+)
+from repro.serving.checkpoint import catalog_from_payload, catalog_to_payload
+from repro.serving.metrics import LatencyRecorder, MetricsRegistry
+
+
+def _serving_catalog() -> Catalog:
+    """A private copy of the conftest ``small_catalog`` (module-scope training)."""
+    concert = Database(name="concert_singer", tables=[
+        Table("singer", [
+            Column("singer_id", ColumnType.INTEGER, is_primary_key=True),
+            Column("name"), Column("country"), Column("age", ColumnType.INTEGER),
+        ]),
+        Table("concert", [
+            Column("concert_id", ColumnType.INTEGER, is_primary_key=True),
+            Column("venue"), Column("year", ColumnType.INTEGER),
+        ]),
+        Table("singer_in_concert", [
+            Column("singer_id", ColumnType.INTEGER),
+            Column("concert_id", ColumnType.INTEGER),
+        ]),
+    ], foreign_keys=[
+        ForeignKey("singer_in_concert", "singer_id", "singer", "singer_id"),
+        ForeignKey("singer_in_concert", "concert_id", "concert", "concert_id"),
+    ])
+    world = Database(name="world", tables=[
+        Table("country", [
+            Column("country_id", ColumnType.INTEGER, is_primary_key=True),
+            Column("name"), Column("continent"), Column("population", ColumnType.INTEGER),
+        ]),
+        Table("city", [
+            Column("city_id", ColumnType.INTEGER, is_primary_key=True),
+            Column("name"), Column("population", ColumnType.INTEGER),
+            Column("country_id", ColumnType.INTEGER),
+        ]),
+    ], foreign_keys=[ForeignKey("city", "country_id", "country", "country_id")])
+    return Catalog(name="serving_small", databases=[concert, world])
+
+
+QUESTIONS = [
+    "how many cities are there in each country",
+    "which singers performed in a concert",
+    "list the venues of all concerts",
+    "what is the average population per continent",
+    "show the name and age of every singer",
+]
+
+
+@pytest.fixture(scope="module")
+def trained_router() -> SchemaRouter:
+    catalog = _serving_catalog()
+    graph = SchemaGraph.from_catalog(catalog)
+    questioner = TemplateQuestioner(catalog=catalog, seed=11)
+    sampler = SchemaSampler(graph, seed=11)
+    report = synthesize_training_data(sampler, questioner, SynthesisConfig(num_samples=250))
+    router = SchemaRouter(graph=graph, config=RouterConfig(
+        epochs=10, embedding_dim=24, hidden_dim=40, num_beams=4, beam_groups=2, seed=11))
+    router.fit(report.examples)
+    return router
+
+
+def _route_signature(routes) -> list[tuple[str, tuple[str, ...], float]]:
+    return [(route.database, route.tables, route.score) for route in routes]
+
+
+# -- checkpoint ----------------------------------------------------------------
+class TestCheckpoint:
+    def test_round_trip_identical_routes(self, trained_router, tmp_path):
+        path = save_router(trained_router, tmp_path / "ckpt")
+        reloaded = SchemaRouter.from_checkpoint(path)
+        assert reloaded.is_trained
+        assert reloaded.config == trained_router.config
+        assert reloaded.num_parameters() == trained_router.num_parameters()
+        for question in QUESTIONS:
+            assert _route_signature(reloaded.route(question)) == \
+                _route_signature(trained_router.route(question))
+
+    def test_manifest_contents(self, trained_router, tmp_path):
+        path = save_router(trained_router, tmp_path / "ckpt")
+        manifest = load_manifest(path)
+        assert manifest["format"] == "repro-router-checkpoint"
+        assert manifest["version"] == 1
+        assert manifest["weights"]["num_parameters"] == trained_router.num_parameters()
+        # The manifest is plain JSON (round-trips through dumps/loads).
+        assert json.loads(json.dumps(manifest)) == manifest
+
+    def test_graph_reconstruction_preserves_edges(self, trained_router, tmp_path):
+        path = save_router(trained_router, tmp_path / "ckpt")
+        reloaded = load_router(path)
+        original, rebuilt = trained_router.graph, reloaded.graph
+        assert rebuilt.num_nodes() == original.num_nodes()
+        assert rebuilt.num_edges() == original.num_edges()
+        assert sorted(rebuilt.databases()) == sorted(original.databases())
+        for database in original.databases():
+            for table in original.tables_of(database):
+                assert sorted(rebuilt.table_neighbors(database, table)) == \
+                    sorted(original.table_neighbors(database, table))
+
+    def test_catalog_payload_round_trip(self, trained_router):
+        payload = catalog_to_payload(trained_router.graph.catalog)
+        rebuilt = catalog_from_payload(json.loads(json.dumps(payload)))
+        original = trained_router.graph.catalog
+        assert rebuilt.database_names == original.database_names
+        for database in original:
+            twin = rebuilt.database(database.name)
+            assert twin.table_names == database.table_names
+            assert twin.foreign_keys == database.foreign_keys
+            for table in database.tables:
+                assert twin.table(table.name).column_names == table.column_names
+
+    def test_corrupt_weights_rejected(self, trained_router, tmp_path):
+        path = save_router(trained_router, tmp_path / "ckpt")
+        weights = path / "weights.npz"
+        original = weights.read_bytes()
+        weights.write_bytes(bytes([original[0] ^ 0xFF]) + original[1:])
+        with pytest.raises(CheckpointError, match="checksum"):
+            load_router(path)
+
+    def test_missing_and_invalid_checkpoints(self, tmp_path):
+        with pytest.raises(CheckpointError, match="manifest"):
+            load_router(tmp_path / "nowhere")
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / "manifest.json").write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(CheckpointError, match="not a router checkpoint"):
+            load_router(bad)
+
+    def test_untrained_router_rejected(self, trained_router, tmp_path):
+        untrained = SchemaRouter(graph=trained_router.graph)
+        with pytest.raises(CheckpointError, match="untrained"):
+            save_router(untrained, tmp_path / "ckpt")
+
+    def test_save_state_npz_normalizes_suffix(self, trained_router, tmp_path):
+        written = trained_router.model.save_state_npz(tmp_path / "weights")
+        assert written == tmp_path / "weights.npz"
+        assert written.is_file()
+
+    def test_vocabulary_payload_round_trip(self):
+        vocabulary = Vocabulary()
+        vocabulary.add_text("how many cities are there")
+        vocabulary.add("singer_in_concert")
+        rebuilt = Vocabulary.from_payload(vocabulary.to_payload())
+        assert rebuilt.tokens() == vocabulary.tokens()
+        for token in vocabulary.tokens():
+            assert rebuilt.id_of(token) == vocabulary.id_of(token)
+
+
+# -- batched inference ---------------------------------------------------------
+class TestRouteBatch:
+    def test_matches_single_question_route(self, trained_router):
+        batched = trained_router.route_batch(QUESTIONS)
+        for question, routes in zip(QUESTIONS, batched):
+            single = trained_router.route(question)
+            assert [(r.database, r.tables) for r in routes] == \
+                [(r.database, r.tables) for r in single]
+            for left, right in zip(routes, single):
+                assert left.score == pytest.approx(right.score, abs=1e-9)
+
+    def test_empty_batch(self, trained_router):
+        assert trained_router.route_batch([]) == []
+
+    def test_untrained_raises(self, trained_router):
+        router = SchemaRouter(graph=trained_router.graph)
+        with pytest.raises(RuntimeError):
+            router.route_batch(["anything"])
+
+
+# -- cache ---------------------------------------------------------------------
+class TestRouteCache:
+    def test_lru_eviction_order(self):
+        cache = RouteCache(max_size=2)
+        cache.put("first question", 1)
+        cache.put("second question", 2)
+        assert cache.get("first question") == 1     # refresh "first"
+        cache.put("third question", 3)              # evicts "second"
+        assert cache.get("second question") is None
+        assert cache.get("first question") == 1
+        assert cache.get("third question") == 3
+        assert cache.evictions == 1
+
+    def test_key_normalization(self):
+        cache = RouteCache(max_size=4)
+        cache.put("How many Cities?", "routes")
+        assert cache.get("how   many cities") == "routes"
+        assert normalize_question("How many Cities?") == "how many cities"
+
+    def test_ttl_expiration(self):
+        now = [0.0]
+        cache = RouteCache(max_size=4, ttl_seconds=10.0, clock=lambda: now[0])
+        cache.put("question", "routes")
+        now[0] = 9.9
+        assert cache.get("question") == "routes"
+        now[0] = 10.1
+        assert cache.get("question") is None
+        assert cache.expirations == 1
+
+    def test_catalog_version_invalidation(self):
+        cache = RouteCache(max_size=4)
+        cache.put("question", "routes")
+        assert cache.get("question") == "routes"
+        cache.bump_version()
+        assert cache.get("question") is None
+        assert cache.invalidations == 1
+        cache.put("question", "routes-v2")        # re-cached under new version
+        assert cache.get("question") == "routes-v2"
+
+    def test_stats_and_hit_rate(self):
+        cache = RouteCache(max_size=4)
+        cache.put("a b", 1)
+        cache.get("a b")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        assert len(cache) == 1 and cache.keys() == ["a b"]
+
+
+# -- micro-batcher -------------------------------------------------------------
+class TestMicroBatcher:
+    def test_coalesces_concurrent_requests(self):
+        calls: list[list[str]] = []
+
+        def route_batch(questions, max_candidates):
+            calls.append(list(questions))
+            return [f"routed:{question}" for question in questions]
+
+        barrier = threading.Barrier(4)
+        with MicroBatcher(route_batch, BatcherConfig(max_batch_size=4,
+                                                     max_wait_seconds=0.2)) as batcher:
+            futures: dict[str, object] = {}
+            lock = threading.Lock()
+
+            def client(question: str) -> None:
+                barrier.wait()
+                future = batcher.submit(question)
+                with lock:
+                    futures[question] = future.result()
+
+            threads = [threading.Thread(target=client, args=(f"q{index}",))
+                       for index in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert futures == {f"q{index}": f"routed:q{index}" for index in range(4)}
+        assert batcher.requests_dispatched == 4
+        assert max(len(call) for call in calls) > 1  # coalescing happened
+        assert sum(batcher.batch_sizes.values()) == batcher.batches_dispatched
+
+    def test_respects_max_batch_size(self):
+        def route_batch(questions, max_candidates):
+            assert len(questions) <= 2
+            return list(questions)
+
+        with MicroBatcher(route_batch, BatcherConfig(max_batch_size=2,
+                                                     max_wait_seconds=0.01)) as batcher:
+            futures = [batcher.submit(f"q{index}") for index in range(7)]
+            assert [future.result() for future in futures] == [f"q{index}"
+                                                               for index in range(7)]
+
+    def test_error_propagates_to_futures(self):
+        def route_batch(questions, max_candidates):
+            raise ValueError("decode exploded")
+
+        with MicroBatcher(route_batch) as batcher:
+            future = batcher.submit("question")
+            with pytest.raises(ValueError, match="decode exploded"):
+                future.result(timeout=5)
+
+    def test_submit_after_close_rejected(self):
+        batcher = MicroBatcher(lambda questions, mc: list(questions))
+        batcher.close()
+        with pytest.raises(RuntimeError):
+            batcher.submit("question")
+
+
+# -- metrics -------------------------------------------------------------------
+class TestMetrics:
+    def test_latency_percentiles(self):
+        recorder = LatencyRecorder()
+        for value in range(1, 101):
+            recorder.record(value / 1000.0)
+        assert recorder.percentile(50) == pytest.approx(0.050)
+        assert recorder.percentile(95) == pytest.approx(0.095)
+        assert recorder.percentile(99) == pytest.approx(0.099)
+        summary = recorder.summary()
+        assert summary["count"] == 100
+        assert summary["p95_ms"] == pytest.approx(95.0)
+
+    def test_registry_snapshot(self):
+        registry = MetricsRegistry()
+        registry.increment("requests", 10)
+        registry.observe_batch(4)
+        registry.observe_batch(4)
+        registry.observe_batch(2)
+        registry.observe_latency(0.002)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["requests"] == 10
+        assert snapshot["batch_size_histogram"] == {2: 1, 4: 2}
+        assert snapshot["mean_batch_size"] == pytest.approx(10 / 3, rel=1e-2)
+        assert snapshot["qps"] > 0
+
+
+# -- the service façade --------------------------------------------------------
+class TestRoutingService:
+    def test_submit_matches_router(self, trained_router):
+        with RoutingService(trained_router) as service:
+            for question in QUESTIONS:
+                assert _route_signature(service.submit(question)) == \
+                    _route_signature(trained_router.route(question))
+
+    def test_checkpoint_boot_matches_in_memory(self, trained_router, tmp_path):
+        path = save_router(trained_router, tmp_path / "ckpt")
+        with RoutingService.from_checkpoint(path) as service:
+            for question in QUESTIONS:
+                assert _route_signature(service.submit(question)) == \
+                    _route_signature(trained_router.route(question))
+
+    def test_repeated_question_hits_cache(self, trained_router):
+        with RoutingService(trained_router) as service:
+            first = service.submit(QUESTIONS[0])
+            second = service.submit(QUESTIONS[0])
+            assert _route_signature(first) == _route_signature(second)
+            stats = service.stats()
+            assert stats["counters"]["cache_hits"] == 1
+            assert stats["counters"]["routed"] == 1
+            assert stats["cache_hit_rate"] == pytest.approx(0.5)
+
+    def test_submit_many_and_duplicates(self, trained_router):
+        with RoutingService(trained_router) as service:
+            questions = [QUESTIONS[0], QUESTIONS[1], QUESTIONS[0], QUESTIONS[2]]
+            results = service.submit_many(questions)
+            assert len(results) == 4
+            assert _route_signature(results[0]) == _route_signature(results[2])
+            # Only three distinct questions were actually decoded.
+            assert service.stats()["counters"]["routed"] == 3
+
+    def test_cache_does_not_alias_max_candidates(self, trained_router):
+        # An ambiguous question ("name" exists in both databases) so the
+        # router emits multiple candidates and truncation is observable.
+        question = "what are the names"
+        full = trained_router.route(question)
+        assert len(full) >= 2
+        with RoutingService(trained_router) as service:
+            assert len(service.submit(question, max_candidates=1)) == 1
+            # The truncated answer must not be served for the default request.
+            assert len(service.submit(question)) == len(full)
+            assert len(service.submit(question, max_candidates=1)) == 1
+
+    def test_catalog_change_invalidates_cache(self, trained_router):
+        with RoutingService(trained_router) as service:
+            service.submit(QUESTIONS[0])
+            service.notify_catalog_changed()
+            service.submit(QUESTIONS[0])
+            stats = service.stats()
+            assert stats["counters"].get("cache_hits", 0) == 0
+            assert stats["cache"]["invalidations"] == 1
+
+    def test_unbatched_uncached_mode(self, trained_router):
+        config = ServingConfig(enable_cache=False, enable_batching=False)
+        with RoutingService(trained_router, config) as service:
+            routes = service.submit(QUESTIONS[0])
+            assert _route_signature(routes) == _route_signature(trained_router.route(QUESTIONS[0]))
+            stats = service.stats()
+            assert stats["cache"] is None and stats["batcher"] is None
+
+    def test_untrained_router_rejected(self, trained_router):
+        with pytest.raises(ValueError, match="trained"):
+            RoutingService(SchemaRouter(graph=trained_router.graph))
+
+    def test_concurrent_submits_coalesce(self, trained_router):
+        config = ServingConfig(enable_cache=False, max_batch_size=8,
+                               max_wait_seconds=0.05)
+        with RoutingService(trained_router, config) as service:
+            barrier = threading.Barrier(6)
+            results: dict[int, object] = {}
+            lock = threading.Lock()
+
+            def client(index: int) -> None:
+                barrier.wait()
+                routes = service.submit(QUESTIONS[index % len(QUESTIONS)])
+                with lock:
+                    results[index] = routes
+
+            threads = [threading.Thread(target=client, args=(index,)) for index in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            for index, routes in results.items():
+                expected = trained_router.route(QUESTIONS[index % len(QUESTIONS)])
+                assert _route_signature(routes) == _route_signature(expected)
+            histogram = service.stats()["batch_size_histogram"]
+            assert max(histogram) > 1  # at least one multi-request batch formed
+
+
+# -- load generation -----------------------------------------------------------
+class TestLoadGenerator:
+    def test_workload_is_deterministic(self):
+        config = WorkloadConfig(num_requests=50, unique_fraction=0.2, seed=9)
+        first = LoadGenerator(QUESTIONS, config).workload()
+        second = LoadGenerator(QUESTIONS, config).workload()
+        assert first == second
+        assert len(first) == 50
+        assert set(first) <= set(QUESTIONS)
+
+    def test_unique_fraction_bounds_pool(self):
+        config = WorkloadConfig(num_requests=100, unique_fraction=0.02, seed=1)
+        workload = LoadGenerator(QUESTIONS, config).workload()
+        assert len(set(workload)) <= 2
+
+    def test_run_closed_loop_against_service(self, trained_router):
+        with RoutingService(trained_router) as service:
+            generator = LoadGenerator(QUESTIONS, WorkloadConfig(
+                num_requests=20, unique_fraction=0.2, seed=4, concurrency=2))
+            report = generator.run(service.submit)
+        assert report.num_requests == 20
+        assert report.errors == 0
+        assert report.throughput_rps > 0
+        assert report.latency["count"] == 20
+        assert json.loads(json.dumps(report.to_json())) == report.to_json()
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(num_requests=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(mode="paced", target_qps=0.0)
+        with pytest.raises(ValueError):
+            LoadGenerator([], WorkloadConfig())
