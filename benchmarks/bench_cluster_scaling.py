@@ -1,0 +1,105 @@
+"""Cluster scaling: 4-shard scatter-gather vs single-shard serving.
+
+Both sides serve the *same* spider-like catalog from checkpoint-loaded
+weights and are driven with the same seeded Zipf workload in submit_many
+waves.  The cluster wins on a single core because each shard runs a standard
+beam search with a quarter of the monolithic beam budget over its own
+partition; the cross-shard merge then recovers the global top-k.  Two
+properties are asserted:
+
+* **fidelity** -- the cluster's merged top-1 database matches the monolithic
+  router's on >= 95% of the 200-request workload (measured on the
+  checkpoint-booted, cache-enabled ``spider_cluster`` fixture);
+* **throughput** -- on cache-disabled twins (so the decode path is what is
+  measured, not cache-hit bookkeeping), the 4-shard cluster sustains
+  >= 1.5x the single-shard routes/sec.
+
+A one-line ``CLUSTER_SUMMARY {...}`` JSON is printed for CI scraping, like
+``bench_serving_throughput``'s ``SERVING_SUMMARY``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cluster import ClusterConfig, ClusterRoutingService
+from repro.serving import LoadGenerator, RoutingService, ServingConfig, WorkloadConfig
+from repro.utils.tables import ResultTable
+
+#: Zipf-skewed request stream over the full question pool (hot-shard shape).
+WORKLOAD = WorkloadConfig(num_requests=200, distribution="zipf", skew=1.0, seed=29)
+WAVE_SIZE = 16
+
+
+def test_cluster_scaling(benchmark, spider_context, spider_cluster):
+    master = spider_cluster.master_router
+    questions = [example.question for example in spider_context.test_examples()[:40]]
+    generator = LoadGenerator(questions, WORKLOAD)
+    workload = generator.workload()
+    distinct = list(dict.fromkeys(workload))
+
+    # Fidelity: merged top-1 vs the monolithic router, weighted by how often
+    # each question occurs in the workload.
+    monolithic = dict(zip(distinct, master.route_batch(distinct, max_candidates=1)))
+    clustered = dict(zip(distinct, spider_cluster.submit_many(distinct,
+                                                              max_candidates=1)))
+    agreements = sum(
+        1 for question in workload
+        if monolithic[question] and clustered[question]
+        and monolithic[question][0].database == clustered[question][0].database
+    )
+    agreement_rate = agreements / len(workload)
+
+    # Throughput: identical Zipf waves through cache-free twins, so repeats
+    # decode every time on both sides and routes/sec measures routing itself.
+    single = RoutingService(master, ServingConfig(enable_cache=False,
+                                                  enable_batching=False))
+    cluster = ClusterRoutingService.from_router(
+        master, ClusterConfig(num_shards=4, strategy="size_balanced",
+                              enable_cache=False))
+    with single, cluster:
+        single_report = generator.run_batched(single.submit_many,
+                                              batch_size=WAVE_SIZE)
+        cluster_report = benchmark.pedantic(
+            lambda: generator.run_batched(cluster.submit_many,
+                                          batch_size=WAVE_SIZE),
+            rounds=1, iterations=1)
+        cluster_stats = cluster.stats()
+    fixture_stats = spider_cluster.stats()
+
+    table = ResultTable(
+        title="Cluster scaling: 4-shard scatter-gather vs single-shard serving",
+        columns=["mode", "routes_per_sec", "p95_ms", "shard_beams"],
+    )
+    table.add_row("single_shard", round(single_report.throughput_rps, 1),
+                  single_report.latency["p95_ms"], master.config.num_beams)
+    shard_beams = cluster.shards[0].workers[0].router.config.num_beams
+    table.add_row("cluster_4_shards", round(cluster_report.throughput_rps, 1),
+                  cluster_report.latency["p95_ms"], shard_beams)
+    print()
+    print(table.render())
+
+    summary = {
+        "workload_requests": cluster_report.num_requests,
+        "distinct_questions": len(distinct),
+        "num_shards": cluster_stats["num_shards"],
+        "shard_num_beams": shard_beams,
+        "top1_agreement": round(agreement_rate, 4),
+        "single_shard_routes_per_sec": round(single_report.throughput_rps, 1),
+        "cluster_routes_per_sec": round(cluster_report.throughput_rps, 1),
+        "speedup": round(cluster_report.throughput_rps / single_report.throughput_rps, 2),
+        "fixture_cache_hit_rate": fixture_stats["cache_hit_rate"],
+        "p95_latency_ms": cluster_report.latency["p95_ms"],
+        "escalations": cluster_stats["dispatcher"]["escalations"],
+        "shard_failures": cluster_stats["dispatcher"]["shard_failures"],
+        "errors": cluster_report.errors,
+    }
+    print("CLUSTER_SUMMARY " + json.dumps(summary, sort_keys=True))
+
+    assert cluster_report.errors == 0
+    assert cluster_stats["dispatcher"]["shard_failures"] == 0
+    # Fidelity bar: sharded decoding must reproduce the monolithic routing
+    # decision on >= 95% of the seeded 200-question workload.
+    assert agreement_rate >= 0.95, summary
+    # Scaling bar: four shards with quarter beam budgets must beat one shard.
+    assert cluster_report.throughput_rps >= 1.5 * single_report.throughput_rps, summary

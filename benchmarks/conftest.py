@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.cluster import ClusterConfig, ClusterRoutingService, load_cluster, save_cluster
 from repro.experiments import default_config, get_context
 from repro.serving import RoutingService, ServingConfig, save_router
 
@@ -45,5 +46,25 @@ def spider_serving(spider_context, tmp_path_factory):
                              tmp_path_factory.mktemp("serving") / "router-ckpt")
     service = RoutingService.from_checkpoint(checkpoint, ServingConfig(
         max_batch_size=8, max_wait_seconds=0.002, cache_size=4096))
+    yield service
+    service.close()
+
+
+@pytest.fixture(scope="session")
+def spider_cluster(spider_context, tmp_path_factory):
+    """A 4-shard cluster booted from a whole-cluster checkpoint.
+
+    Mirrors ``spider_serving``: the cluster is saved with ``save_cluster`` and
+    booted with ``load_cluster`` so ``bench_cluster_scaling`` measures the full
+    deploy path (partition -> project -> save -> load -> serve).
+    """
+    built = ClusterRoutingService.from_router(
+        spider_context.copilot.router,
+        ClusterConfig(num_shards=4, strategy="size_balanced", cache_size=4096),
+    )
+    checkpoint = save_cluster(built,
+                              tmp_path_factory.mktemp("cluster") / "cluster-ckpt")
+    built.close()
+    service = load_cluster(checkpoint)
     yield service
     service.close()

@@ -28,6 +28,9 @@ every substrate it depends on, from scratch:
 * :mod:`repro.serving` -- deployment: versioned router checkpoints, a
   thread-safe route cache, micro-batched inference, metrics, and a load
   generator behind the :class:`RoutingService` façade.
+* :mod:`repro.cluster` -- scale-out: partitioned catalogs served by shard
+  workers behind a scatter-gather dispatcher with replication, rebalancing,
+  and whole-cluster checkpoints (:class:`ClusterRoutingService`).
 
 Top-level names are imported lazily so that ``import repro`` stays cheap and
 sub-packages can be used independently.
@@ -53,6 +56,8 @@ _EXPORTS = {
     "SchemaRouter": "repro.core",
     "RoutingService": "repro.serving",
     "ServingConfig": "repro.serving",
+    "ClusterConfig": "repro.cluster",
+    "ClusterRoutingService": "repro.cluster",
 }
 
 __all__ = ["__version__", *sorted(_EXPORTS)]

@@ -1,0 +1,69 @@
+"""Cluster subsystem: sharded scatter-gather routing over partitioned catalogs.
+
+PR 1 made the router a persistent, cached, micro-batched *service*; this
+package makes it a *cluster*.  The catalog is partitioned into shards
+(round-robin, size-balanced, or joinability-aware grouping); each shard runs a
+projection of the trained router -- same model, sub-graph constraint, reduced
+beam budget -- behind its own :class:`repro.serving.RoutingService` with an
+independent cache and metrics; a dispatcher scatter-gathers every request
+across the shards and merges the candidates into one deterministic top-k:
+
+* :mod:`repro.cluster.partition` -- deterministic catalog partitioners and the
+  :class:`ShardAssignment` layout;
+* :mod:`repro.cluster.shard` -- router projection and the per-shard worker;
+* :mod:`repro.cluster.dispatcher` -- thread-pool scatter-gather with
+  per-shard timeouts and deterministic score-merged top-k;
+* :mod:`repro.cluster.replica` -- N-way replication, round-robin selection,
+  failover with quarantine;
+* :mod:`repro.cluster.rebalance` -- live add/remove/move of databases with
+  single-shard cache invalidation;
+* :mod:`repro.cluster.service` -- :class:`ClusterRoutingService`, the façade
+  mirroring the PR-1 ``RoutingService`` API plus cluster-wide metrics;
+* :mod:`repro.cluster.checkpoint` -- whole-cluster save/load (shard manifest
+  + per-shard router checkpoints) for identical restarts.
+"""
+
+from repro.cluster.checkpoint import (
+    CLUSTER_FORMAT,
+    CLUSTER_VERSION,
+    load_cluster,
+    load_cluster_manifest,
+    save_cluster,
+)
+from repro.cluster.dispatcher import (
+    ClusterDispatcher,
+    ClusterError,
+    ShardTimeoutError,
+)
+from repro.cluster.partition import (
+    PARTITION_STRATEGIES,
+    ShardAssignment,
+    database_affinity,
+    partition_catalog,
+)
+from repro.cluster.rebalance import ClusterRebalancer, RebalanceError
+from repro.cluster.replica import ReplicaSet
+from repro.cluster.service import ClusterConfig, ClusterRoutingService
+from repro.cluster.shard import ShardWorker, project_router
+
+__all__ = [
+    "CLUSTER_FORMAT",
+    "CLUSTER_VERSION",
+    "load_cluster",
+    "load_cluster_manifest",
+    "save_cluster",
+    "ClusterDispatcher",
+    "ClusterError",
+    "ShardTimeoutError",
+    "PARTITION_STRATEGIES",
+    "ShardAssignment",
+    "database_affinity",
+    "partition_catalog",
+    "ClusterRebalancer",
+    "RebalanceError",
+    "ReplicaSet",
+    "ClusterConfig",
+    "ClusterRoutingService",
+    "ShardWorker",
+    "project_router",
+]

@@ -1,0 +1,160 @@
+"""Whole-cluster checkpoints: shard manifest + per-shard router checkpoints.
+
+A cluster checkpoint is a directory::
+
+    cluster-ckpt/
+      cluster.json     # format/version, ClusterConfig, the shard assignment
+      master/          # full router checkpoint (rebalancing universe)
+      shard-00/        # per-shard projected-router checkpoints
+      shard-01/
+      ...
+
+Each shard directory is an ordinary :mod:`repro.serving.checkpoint` router
+checkpoint of that shard's *projected* router (sub-catalog, shard beam
+budget), so a shard can also be booted standalone with
+``SchemaRouter.from_checkpoint``.  Loading the whole directory reproduces the
+cluster identically: same assignment, same per-shard configs, bit-identical
+weights, hence identical routes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, replace
+from pathlib import Path
+
+from repro.cluster.partition import ShardAssignment
+from repro.cluster.replica import ReplicaSet
+from repro.cluster.service import ClusterConfig, ClusterRoutingService
+from repro.cluster.shard import ShardWorker
+from repro.core.router import SchemaRouter
+from repro.serving.checkpoint import CheckpointError, load_router, save_router
+
+CLUSTER_FORMAT = "repro-cluster-checkpoint"
+CLUSTER_VERSION = 1
+
+CLUSTER_MANIFEST_FILE = "cluster.json"
+MASTER_DIR = "master"
+
+
+def _shard_dir(shard_id: int) -> str:
+    return f"shard-{shard_id:02d}"
+
+
+def save_cluster(cluster: ClusterRoutingService, path: str | Path) -> Path:
+    """Write ``cluster`` (layout + routers) to a checkpoint directory."""
+    if cluster.master_router is None:
+        raise CheckpointError("cannot checkpoint a cluster without its master router")
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    save_router(cluster.master_router, path / MASTER_DIR)
+    shard_entries = []
+    for replica_set in cluster.shards:
+        shard_id = replica_set.shard_id
+        directory = _shard_dir(shard_id)
+        # Replicas are interchangeable projections of the same model; one
+        # checkpoint per shard reproduces all of them.
+        save_router(replica_set.workers[0].router, path / directory)
+        shard_entries.append({
+            "shard_id": shard_id,
+            "databases": list(replica_set.databases),
+            "dir": directory,
+        })
+    manifest = {
+        "format": CLUSTER_FORMAT,
+        "version": CLUSTER_VERSION,
+        "config": asdict(cluster.config),
+        "assignment": cluster.assignment.to_payload(),
+        "catalog_version": cluster.catalog_version,
+        "shards": shard_entries,
+    }
+    (path / CLUSTER_MANIFEST_FILE).write_text(json.dumps(manifest, indent=2,
+                                                         sort_keys=True))
+    return path
+
+
+def load_cluster_manifest(path: str | Path) -> dict:
+    """Read and validate the cluster manifest of a checkpoint directory."""
+    manifest_path = Path(path) / CLUSTER_MANIFEST_FILE
+    if not manifest_path.is_file():
+        raise CheckpointError(f"no {CLUSTER_MANIFEST_FILE} in {Path(path)!s}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as error:
+        raise CheckpointError(f"corrupt cluster manifest in {Path(path)!s}: "
+                              f"{error}") from error
+    if manifest.get("format") != CLUSTER_FORMAT:
+        raise CheckpointError(f"not a cluster checkpoint: {manifest.get('format')!r}")
+    if manifest.get("version") != CLUSTER_VERSION:
+        raise CheckpointError(
+            f"unsupported cluster checkpoint version {manifest.get('version')!r}"
+            f" (this build reads version {CLUSTER_VERSION})"
+        )
+    return manifest
+
+
+def load_cluster(path: str | Path,
+                 config: ClusterConfig | None = None) -> ClusterRoutingService:
+    """Rebuild a :class:`ClusterRoutingService` from a checkpoint directory.
+
+    ``config`` overrides the saved *serving* knobs (cache sizes, timeouts,
+    replicas, partial gathers); everything that affects routing decisions --
+    assignment, shard/escalation beam budgets, the escalation threshold --
+    always comes from the checkpoint so a restarted cluster routes
+    identically.
+    """
+    path = Path(path)
+    manifest = load_cluster_manifest(path)
+    saved_config = ClusterConfig(**manifest["config"])
+    assignment = ShardAssignment.from_payload(manifest["assignment"])
+    if config is None:
+        config = saved_config
+    else:
+        config = replace(config,
+                         strategy=saved_config.strategy,
+                         shard_num_beams=saved_config.shard_num_beams,
+                         shard_beam_groups=saved_config.shard_beam_groups,
+                         escalation_threshold=saved_config.escalation_threshold,
+                         escalation_num_beams=saved_config.escalation_num_beams)
+    if config.num_shards != assignment.num_shards:
+        config = replace(config, num_shards=assignment.num_shards)
+    master = load_router(path / MASTER_DIR)
+    shards = []
+    for entry in sorted(manifest["shards"], key=lambda item: item["shard_id"]):
+        shard_id = entry["shard_id"]
+        shard_router = load_router(path / entry["dir"])
+        if sorted(shard_router.graph.catalog.database_names) != sorted(entry["databases"]):
+            raise CheckpointError(
+                f"shard {shard_id} checkpoint serves "
+                f"{shard_router.graph.catalog.database_names} but the manifest "
+                f"assigns {entry['databases']}"
+            )
+        workers = []
+        for replica_index in range(config.replicas):
+            if replica_index == 0:
+                router = shard_router
+            else:
+                # Extra replicas share the loaded model and vocabularies; each
+                # gets its own router instance (own constraint/tries) so the
+                # replica services stay independent.
+                router = SchemaRouter(graph=shard_router.graph,
+                                      config=shard_router.config)
+                router.restore(shard_router.model, shard_router.source_vocabulary,
+                               shard_router.target_vocabulary,
+                               shard_router.training_losses)
+            workers.append(ShardWorker(shard_id, tuple(entry["databases"]), router,
+                                       serving_config=config.serving_config(),
+                                       checkpoint_dir=path / entry["dir"],
+                                       escalation_num_beams=config.escalation_beams_for(master)))
+        shards.append(ReplicaSet(
+            shard_id, workers,
+            quarantine_seconds=config.quarantine_seconds,
+            attempt_timeout_seconds=config.shard_timeout_seconds
+            if config.replicas > 1 else None,
+        ))
+    if len(shards) != assignment.num_shards:
+        raise CheckpointError(f"cluster manifest lists {len(shards)} shards but "
+                              f"the assignment has {assignment.num_shards}")
+    return ClusterRoutingService(shards, assignment, config=config,
+                                 master_router=master,
+                                 catalog_version=manifest.get("catalog_version", 0))

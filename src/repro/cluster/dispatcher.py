@@ -1,0 +1,187 @@
+"""Scatter-gather dispatch across shard targets.
+
+The dispatcher fans one ``route_batch`` call out to every shard on a thread
+pool, gathers the per-shard candidate lists (optionally under a per-shard
+timeout), and merges them into one deterministic top-k per question with
+:func:`repro.core.router.merge_route_lists`.  Because every shard scores with
+the same underlying model, pooled softmax normalization keeps the merged
+ranking identical to what a monolithic router would prefer, and the
+``(-score, database, tables)`` sort makes the result independent of shard
+gather order.
+
+Targets are plain callables (``route_batch(questions, max_candidates) ->
+per-question route lists``), so the dispatcher works equally over
+:class:`repro.cluster.shard.ShardWorker`, a
+:class:`repro.cluster.replica.ReplicaSet`, or a test stub.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+from repro.core.router import SchemaRoute, merge_route_lists
+
+#: A shard target: ``(questions, max_candidates) -> list of per-question routes``.
+ShardTarget = Callable[[Sequence[str], "int | None"], "list[list[SchemaRoute]]"]
+
+
+class ClusterError(RuntimeError):
+    """A shard (or all replicas of a shard) failed to answer."""
+
+
+class ShardTimeoutError(ClusterError):
+    """A shard did not answer within its timeout."""
+
+
+def call_with_timeout(target: Callable, args: tuple, timeout_seconds: float | None,
+                      label: str = "shard"):
+    """Run ``target(*args)``, raising :class:`ShardTimeoutError` on timeout.
+
+    With no timeout the call runs inline.  With one, it runs on a daemon
+    thread so a hung shard cannot wedge the caller; the abandoned thread is
+    left to finish (or leak) on its own -- acceptable for an in-process
+    cluster, and exactly what lets replica failover move on.
+    """
+    if timeout_seconds is None:
+        return target(*args)
+    outcome: list = []
+    failure: list[BaseException] = []
+
+    def runner() -> None:
+        try:
+            outcome.append(target(*args))
+        except BaseException as error:  # propagated to the caller below
+            failure.append(error)
+
+    thread = threading.Thread(target=runner, daemon=True,
+                              name=f"repro-cluster-{label}")
+    thread.start()
+    thread.join(timeout_seconds)
+    if thread.is_alive():
+        raise ShardTimeoutError(f"{label} did not answer within {timeout_seconds}s")
+    if failure:
+        raise failure[0]
+    return outcome[0]
+
+
+class ClusterDispatcher:
+    """Scatter ``route_batch`` across shards, gather, and merge top-k.
+
+    With ``careful_targets`` and an ``escalation_threshold`` the dispatcher
+    runs a two-tier cascade: every question goes through the (cheap) primary
+    targets first, and only questions whose merged top-1 confidence -- the
+    pooled softmax weight -- falls below the threshold are re-scattered to the
+    careful tier (typically the same shards at a wider beam budget).  Ambiguous
+    questions are exactly the low-confidence ones, so the cascade restores
+    monolithic fidelity while paying wide-beam cost on a small fraction of
+    traffic.
+    """
+
+    def __init__(self, targets: Sequence[ShardTarget],
+                 default_max_candidates: int = 5,
+                 shard_timeout_seconds: float | None = None,
+                 allow_partial: bool = False,
+                 max_workers: int | None = None,
+                 careful_targets: Sequence[ShardTarget] | None = None,
+                 escalation_threshold: float | None = None) -> None:
+        if not targets:
+            raise ValueError("the dispatcher needs at least one shard target")
+        if careful_targets is not None and len(careful_targets) != len(targets):
+            raise ValueError("careful_targets must pair up with targets")
+        if escalation_threshold is not None and not 0.0 < escalation_threshold <= 1.0:
+            raise ValueError("escalation_threshold must be in (0, 1]")
+        self.targets = list(targets)
+        self.careful_targets = list(careful_targets) if careful_targets else None
+        self.escalation_threshold = escalation_threshold
+        self.default_max_candidates = default_max_candidates
+        self.shard_timeout_seconds = shard_timeout_seconds
+        self.allow_partial = allow_partial
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers or len(self.targets),
+            thread_name_prefix="repro-cluster-dispatch",
+        )
+        self._closed = False
+        self._stats_lock = threading.Lock()
+        self.shard_failures = 0
+        self.partial_gathers = 0
+        self.escalations = 0
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.targets)
+
+    # -- request path --------------------------------------------------------
+    def route(self, question: str,
+              max_candidates: int | None = None) -> list[SchemaRoute]:
+        return self.route_batch([question], max_candidates=max_candidates)[0]
+
+    def route_batch(self, questions: Sequence[str],
+                    max_candidates: int | None = None) -> list[list[SchemaRoute]]:
+        """Scatter ``questions`` to every shard and merge the answers.
+
+        Raises :class:`ClusterError` when a shard fails (or, with
+        ``allow_partial``, only when *every* shard fails); a partial gather
+        merges whatever answered and counts the miss in ``shard_failures``.
+        """
+        if self._closed:
+            raise RuntimeError("the dispatcher has been closed")
+        if not questions:
+            return []
+        questions = list(questions)
+        merged = self._scatter_merge(self.targets, questions, max_candidates)
+        if self.careful_targets is not None and self.escalation_threshold is not None:
+            needy = [index for index, routes in enumerate(merged)
+                     if not routes or routes[0].score < self.escalation_threshold]
+            if needy:
+                with self._stats_lock:
+                    self.escalations += len(needy)
+                careful = self._scatter_merge(
+                    self.careful_targets, [questions[index] for index in needy],
+                    max_candidates)
+                for index, routes in zip(needy, careful):
+                    merged[index] = routes
+        return merged
+
+    def _scatter_merge(self, targets: Sequence[ShardTarget], questions: list[str],
+                       max_candidates: int | None) -> list[list[SchemaRoute]]:
+        futures = [
+            self._pool.submit(call_with_timeout, target, (questions, max_candidates),
+                              self.shard_timeout_seconds, f"shard-{index}")
+            for index, target in enumerate(targets)
+        ]
+        gathered: list[list[list[SchemaRoute]]] = []
+        first_error: BaseException | None = None
+        for future in futures:
+            try:
+                gathered.append(future.result())
+            except Exception as error:
+                with self._stats_lock:
+                    self.shard_failures += 1
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            if not self.allow_partial or not gathered:
+                raise ClusterError("shard dispatch failed") from first_error
+            with self._stats_lock:
+                self.partial_gathers += 1
+        limit = max_candidates if max_candidates is not None else self.default_max_candidates
+        return [
+            merge_route_lists((shard_answers[index] for shard_answers in gathered),
+                              max_candidates=limit)
+            for index in range(len(questions))
+        ]
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=False)
+
+    def __enter__(self) -> "ClusterDispatcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,152 @@
+"""N-way shard replication with round-robin selection and failover.
+
+A :class:`ReplicaSet` fronts several interchangeable :class:`ShardWorker`
+replicas of one shard.  Requests rotate round-robin across healthy replicas;
+when a replica raises or exceeds the per-attempt timeout it is quarantined for
+``quarantine_seconds`` and the request fails over to the next replica.
+Quarantined replicas are retried automatically once their quarantine expires
+(and, as a last resort, when every replica is quarantined the one whose
+quarantine expires soonest is tried anyway -- serving degraded beats serving
+nothing).
+
+The clock is injectable so quarantine expiry is testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.router import SchemaRoute
+from repro.cluster.dispatcher import ClusterError, call_with_timeout
+from repro.cluster.shard import ShardWorker
+
+
+@dataclass
+class _ReplicaState:
+    """Bookkeeping for one replica."""
+
+    worker: ShardWorker
+    failures: int = 0
+    successes: int = 0
+    quarantined_until: float = field(default=0.0)
+
+    def healthy(self, now: float) -> bool:
+        return now >= self.quarantined_until
+
+
+class ReplicaSet:
+    """Round-robin + failover over the replicas of one shard."""
+
+    def __init__(self, shard_id: int, workers: Sequence[ShardWorker],
+                 quarantine_seconds: float = 30.0,
+                 attempt_timeout_seconds: float | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if not workers:
+            raise ValueError("a replica set needs at least one worker")
+        if quarantine_seconds < 0:
+            raise ValueError("quarantine_seconds must be non-negative")
+        self.shard_id = shard_id
+        self.quarantine_seconds = quarantine_seconds
+        self.attempt_timeout_seconds = attempt_timeout_seconds
+        self._clock = clock
+        self._replicas = [_ReplicaState(worker=worker) for worker in workers]
+        self._rotation = 0
+        self._lock = threading.Lock()
+        self.failovers = 0
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def num_replicas(self) -> int:
+        return len(self._replicas)
+
+    @property
+    def workers(self) -> list[ShardWorker]:
+        return [replica.worker for replica in self._replicas]
+
+    @property
+    def databases(self) -> tuple[str, ...]:
+        return self._replicas[0].worker.databases
+
+    def healthy_count(self) -> int:
+        now = self._clock()
+        return sum(1 for replica in self._replicas if replica.healthy(now))
+
+    # -- selection -----------------------------------------------------------
+    def _attempt_order(self) -> list[_ReplicaState]:
+        """Healthy replicas in round-robin order, then quarantined ones by
+        soonest expiry (the periodic-retry / last-resort path)."""
+        with self._lock:
+            start = self._rotation
+            self._rotation += 1
+        now = self._clock()
+        rotated = [self._replicas[(start + offset) % len(self._replicas)]
+                   for offset in range(len(self._replicas))]
+        healthy = [replica for replica in rotated if replica.healthy(now)]
+        quarantined = sorted((replica for replica in rotated if not replica.healthy(now)),
+                             key=lambda replica: replica.quarantined_until)
+        return healthy + quarantined
+
+    # -- request path --------------------------------------------------------
+    def route_batch(self, questions: Sequence[str],
+                    max_candidates: int | None = None,
+                    careful: bool = False) -> list[list[SchemaRoute]]:
+        """Route through the first replica that answers; quarantine failures."""
+        attempts = self._attempt_order()
+        last_error: BaseException | None = None
+        for position, replica in enumerate(attempts):
+            try:
+                result = call_with_timeout(
+                    replica.worker.route_batch,
+                    (list(questions), max_candidates, careful),
+                    self.attempt_timeout_seconds,
+                    f"shard-{self.shard_id}-replica",
+                )
+            except Exception as error:
+                last_error = error
+                with self._lock:
+                    replica.failures += 1
+                    replica.quarantined_until = self._clock() + self.quarantine_seconds
+                    if position + 1 < len(attempts):
+                        self.failovers += 1
+                continue
+            with self._lock:
+                replica.successes += 1
+                replica.quarantined_until = 0.0
+            return result
+        raise ClusterError(
+            f"all {len(attempts)} replicas of shard {self.shard_id} failed"
+        ) from last_error
+
+    # -- rebalance / lifecycle ----------------------------------------------
+    def set_databases(self, databases: tuple[str, ...], master) -> None:
+        """Re-project every replica onto a new database set (rebalancing)."""
+        for replica in self._replicas:
+            replica.worker.set_databases(databases, master)
+
+    def notify_catalog_changed(self) -> None:
+        for replica in self._replicas:
+            replica.worker.notify_catalog_changed()
+
+    def stats(self) -> dict:
+        now = self._clock()
+        return {
+            "shard_id": self.shard_id,
+            "num_replicas": len(self._replicas),
+            "healthy_replicas": self.healthy_count(),
+            "failovers": self.failovers,
+            "replicas": [
+                {
+                    "successes": replica.successes,
+                    "failures": replica.failures,
+                    "quarantined": not replica.healthy(now),
+                }
+                for replica in self._replicas
+            ],
+        }
+
+    def close(self) -> None:
+        for replica in self._replicas:
+            replica.worker.close()

@@ -1,0 +1,320 @@
+"""The cluster routing service: partition + shards + replicas + dispatch.
+
+:class:`ClusterRoutingService` mirrors the PR-1 :class:`RoutingService` API
+(``submit`` / ``submit_many`` / ``stats`` / ``close``, context manager) but
+serves the catalog from a set of shard workers behind a scatter-gather
+dispatcher.  Each shard owns a disjoint slice of the databases, decodes with a
+proportionally smaller beam budget, and keeps its own route cache and metrics;
+the dispatcher merges per-shard candidates into one deterministic top-k whose
+scores are pooled softmax weights (see :func:`repro.core.router.merge_route_lists`).
+
+Throughput scales with shard count even on one core because each shard's
+constrained beam search explores a fraction of the monolithic search budget;
+on many cores the thread-pool scatter adds real parallelism on top.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.router import SchemaRoute, SchemaRouter
+from repro.cluster.dispatcher import ClusterDispatcher
+from repro.cluster.partition import ShardAssignment, partition_catalog
+from repro.cluster.replica import ReplicaSet
+from repro.cluster.shard import ShardWorker
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.service import ServingConfig
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Knobs of one cluster instance."""
+
+    num_shards: int = 4
+    #: Partition strategy: "round_robin" | "size_balanced" | "joinability".
+    strategy: str = "size_balanced"
+    #: Replicas per shard (1 = no replication).
+    replicas: int = 1
+    #: Beam budget per shard on the fast tier.  None derives 1 when the
+    #: escalation cascade is enabled (the careful tier covers ambiguity) and
+    #: ``max(1, num_beams // num_shards)`` otherwise -- the shard only has to
+    #: surface its own best candidates, the cross-shard merge recovers the
+    #: global top-k.
+    shard_num_beams: int | None = None
+    #: Beam groups per shard; None means 1 (standard, non-diverse beam search).
+    #: Diversity exists to spread a monolithic beam across many databases;
+    #: inside a shard the partition already did that, and penalty-free search
+    #: ranks the shard's own candidates more faithfully.
+    shard_beam_groups: int | None = None
+    #: Confidence-gated escalation: a question whose merged top-1 softmax
+    #: weight falls below this threshold is re-scattered to a wide-beam tier.
+    #: None disables the cascade (single-pass at ``shard_num_beams``).
+    escalation_threshold: float | None = 0.8
+    #: Beam budget of the escalation tier; None derives
+    #: ``max(2, num_beams // num_shards)`` from the master router.
+    escalation_num_beams: int | None = None
+    #: Per-replica attempt timeout (None = wait forever).
+    shard_timeout_seconds: float | None = None
+    #: Merge whatever shards answered instead of failing the whole request.
+    allow_partial: bool = False
+    quarantine_seconds: float = 30.0
+    #: Default number of candidate schemata per answer (None = router default).
+    max_candidates: int | None = None
+    #: Per-shard route cache settings (each shard owns an independent cache).
+    enable_cache: bool = True
+    cache_size: int = 2048
+    cache_ttl_seconds: float | None = None
+    max_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if self.replicas <= 0:
+            raise ValueError("replicas must be positive")
+        if self.shard_num_beams is not None and self.shard_num_beams <= 0:
+            raise ValueError("shard_num_beams must be positive (or None)")
+        if self.escalation_threshold is not None \
+                and not 0.0 < self.escalation_threshold <= 1.0:
+            raise ValueError("escalation_threshold must be in (0, 1] (or None)")
+        if self.escalation_num_beams is not None and self.escalation_num_beams <= 0:
+            raise ValueError("escalation_num_beams must be positive (or None)")
+
+    def serving_config(self) -> ServingConfig:
+        """The per-shard RoutingService configuration this cluster implies."""
+        return ServingConfig(enable_cache=self.enable_cache,
+                             cache_size=self.cache_size,
+                             cache_ttl_seconds=self.cache_ttl_seconds,
+                             enable_batching=False)
+
+    def shard_beams_for(self, master: SchemaRouter) -> tuple[int, int]:
+        """(num_beams, beam_groups) of the fast tier for shards of ``master``."""
+        if self.shard_num_beams is not None:
+            beams = self.shard_num_beams
+        elif self.escalation_threshold is not None:
+            beams = 1
+        else:
+            beams = max(1, master.config.num_beams // self.num_shards)
+        groups = self.shard_beam_groups or 1
+        if beams % groups != 0:
+            groups = beams
+        return beams, groups
+
+    def escalation_beams_for(self, master: SchemaRouter) -> int | None:
+        """Beam budget of the careful tier (None when the cascade is off)."""
+        if self.escalation_threshold is None:
+            return None
+        return self.escalation_num_beams or max(2, master.config.num_beams
+                                                // self.num_shards)
+
+
+class ClusterRoutingService:
+    """Serves schema routing over a partitioned catalog."""
+
+    def __init__(self, shards: Sequence[ReplicaSet], assignment: ShardAssignment,
+                 config: ClusterConfig | None = None,
+                 master_router: SchemaRouter | None = None,
+                 catalog_version: int = 0) -> None:
+        if not shards:
+            raise ValueError("a cluster needs at least one shard")
+        if len(shards) != assignment.num_shards:
+            raise ValueError(f"{len(shards)} shards but the assignment has "
+                             f"{assignment.num_shards}")
+        self.config = config or ClusterConfig(num_shards=len(shards))
+        self.assignment = assignment
+        self.master_router = master_router
+        self.metrics = MetricsRegistry()
+        self._shards = list(shards)
+        self._catalog_version = catalog_version
+        # Judge replication by what the replica sets actually contain, not by
+        # config.replicas: with real replication the per-attempt timeout lives
+        # inside the ReplicaSet (so failover engages); without it the
+        # dispatcher enforces the timeout around the single worker.
+        self._max_replicas = max(replica_set.num_replicas
+                                 for replica_set in self._shards)
+        default_candidates = 5
+        if master_router is not None:
+            default_candidates = master_router.config.max_candidate_schemas
+        careful_targets = None
+        if self.config.escalation_threshold is not None:
+            careful_targets = [
+                (lambda questions, max_candidates, _rs=replica_set:
+                 _rs.route_batch(questions, max_candidates, careful=True))
+                for replica_set in self._shards
+            ]
+        self.dispatcher = ClusterDispatcher(
+            [replica_set.route_batch for replica_set in self._shards],
+            default_max_candidates=default_candidates,
+            shard_timeout_seconds=None if self._max_replicas > 1
+            else self.config.shard_timeout_seconds,
+            allow_partial=self.config.allow_partial,
+            max_workers=self.config.max_workers,
+            careful_targets=careful_targets,
+            escalation_threshold=self.config.escalation_threshold,
+        )
+        if self.config.shard_timeout_seconds is not None and self._max_replicas > 1:
+            for replica_set in self._shards:
+                if replica_set.attempt_timeout_seconds is None:
+                    replica_set.attempt_timeout_seconds = self.config.shard_timeout_seconds
+        self._closed = False
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_router(cls, master: SchemaRouter, config: ClusterConfig | None = None,
+                    assignment: ShardAssignment | None = None) -> "ClusterRoutingService":
+        """Partition the master router's catalog and project one worker
+        (times ``config.replicas``) per shard.  No training happens: every
+        shard shares the master's trained model."""
+        config = config or ClusterConfig()
+        if assignment is None:
+            assignment = partition_catalog(master.graph.catalog, config.num_shards,
+                                           strategy=config.strategy)
+        elif assignment.num_shards != config.num_shards:
+            config = replace(config, num_shards=assignment.num_shards)
+        beams, groups = config.shard_beams_for(master)
+        escalation_beams = config.escalation_beams_for(master)
+        shards = []
+        for shard_id, databases in enumerate(assignment.shards):
+            workers = [
+                ShardWorker.from_projection(shard_id, databases, master,
+                                            serving_config=config.serving_config(),
+                                            num_beams=beams, beam_groups=groups,
+                                            escalation_num_beams=escalation_beams)
+                for _ in range(config.replicas)
+            ]
+            shards.append(ReplicaSet(
+                shard_id, workers,
+                quarantine_seconds=config.quarantine_seconds,
+                attempt_timeout_seconds=config.shard_timeout_seconds
+                if config.replicas > 1 else None,
+            ))
+        return cls(shards, assignment, config=config, master_router=master)
+
+    @classmethod
+    def from_checkpoint(cls, path: str | Path,
+                        config: ClusterConfig | None = None) -> "ClusterRoutingService":
+        """Boot a cluster from a directory written by ``save_cluster``."""
+        from repro.cluster.checkpoint import load_cluster
+
+        return load_cluster(path, config=config)
+
+    # -- request path --------------------------------------------------------
+    def submit(self, question: str,
+               max_candidates: int | None = None) -> list[SchemaRoute]:
+        """Route one question across all shards (blocking, thread-safe)."""
+        if self._closed:
+            raise RuntimeError("the cluster service has been closed")
+        started = time.monotonic()
+        self.metrics.increment("requests")
+        routes = self.dispatcher.route(
+            question, max_candidates=max_candidates or self.config.max_candidates)
+        self.metrics.increment("routed")
+        self.metrics.observe_latency(time.monotonic() - started)
+        return routes
+
+    def submit_many(self, questions: Sequence[str],
+                    max_candidates: int | None = None) -> list[list[SchemaRoute]]:
+        """Route a wave of questions as one scatter-gather dispatch."""
+        if self._closed:
+            raise RuntimeError("the cluster service has been closed")
+        if not questions:
+            return []
+        started = time.monotonic()
+        self.metrics.increment("requests", len(questions))
+        results = self.dispatcher.route_batch(
+            list(questions), max_candidates=max_candidates or self.config.max_candidates)
+        self.metrics.increment("routed", len(questions))
+        elapsed = time.monotonic() - started
+        for _ in questions:
+            self.metrics.observe_latency(elapsed / len(questions))
+        return results
+
+    # -- topology ------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> list[ReplicaSet]:
+        return self._shards
+
+    @property
+    def database_names(self) -> list[str]:
+        return self.assignment.database_names
+
+    def shard_of(self, database: str) -> int:
+        return self.assignment.shard_of(database)
+
+    # -- catalog change hooks ------------------------------------------------
+    @property
+    def catalog_version(self) -> int:
+        return self._catalog_version
+
+    def bump_catalog_version(self) -> int:
+        self._catalog_version += 1
+        return self._catalog_version
+
+    def notify_catalog_changed(self, database: str | None = None) -> None:
+        """Invalidate route caches: one shard's when ``database`` is given
+        (only its owner is affected), every shard's otherwise."""
+        self.bump_catalog_version()
+        if database is not None:
+            self._shards[self.assignment.shard_of(database)].notify_catalog_changed()
+        else:
+            for replica_set in self._shards:
+                replica_set.notify_catalog_changed()
+
+    # -- introspection -------------------------------------------------------
+    def stats(self) -> dict:
+        """Cluster-wide rollup plus per-shard detail."""
+        snapshot = self.metrics.snapshot()
+        shard_stats = []
+        total_requests = 0
+        total_hits = 0
+        for replica_set in self._shards:
+            entry = replica_set.stats()
+            entry["workers"] = [worker.stats() for worker in replica_set.workers]
+            qps = 0.0
+            for worker_stats in entry["workers"]:
+                # Count both decode tiers: escalated traffic goes through the
+                # careful service, whose counters live under "careful".
+                for tier in (worker_stats, worker_stats.get("careful")):
+                    if tier is None:
+                        continue
+                    counters = tier["counters"]
+                    total_requests += counters.get("requests", 0)
+                    total_hits += counters.get("cache_hits", 0)
+                    qps += tier["qps"]
+            entry["qps"] = round(qps, 2)
+            shard_stats.append(entry)
+        snapshot["num_shards"] = self.num_shards
+        snapshot["replicas"] = self._max_replicas
+        snapshot["strategy"] = self.assignment.strategy
+        snapshot["assignment"] = [list(databases) for databases in self.assignment.shards]
+        snapshot["catalog_version"] = self._catalog_version
+        snapshot["cache_hit_rate"] = (round(total_hits / total_requests, 4)
+                                      if total_requests else 0.0)
+        snapshot["dispatcher"] = {
+            "shard_failures": self.dispatcher.shard_failures,
+            "partial_gathers": self.dispatcher.partial_gathers,
+            "escalations": self.dispatcher.escalations,
+        }
+        snapshot["shards"] = shard_stats
+        return snapshot
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.dispatcher.close()
+        for replica_set in self._shards:
+            replica_set.close()
+
+    def __enter__(self) -> "ClusterRoutingService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -29,7 +29,13 @@ from repro.core.questioner import NeuralQuestioner, SchemaQuestioner, TemplateQu
 from repro.core.synthesis import SynthesisConfig, SyntheticExample, synthesize_training_data
 from repro.core.trie import PrefixTrie
 from repro.core.constrained import GraphConstrainedDecoding
-from repro.core.router import RouterConfig, SchemaRoute, SchemaRouter
+from repro.core.router import (
+    RouterConfig,
+    SchemaRoute,
+    SchemaRouter,
+    merge_route_lists,
+    normalize_route_scores,
+)
 from repro.core.dbcopilot import DBCopilot, DBCopilotConfig
 
 __all__ = [
@@ -53,6 +59,8 @@ __all__ = [
     "RouterConfig",
     "SchemaRoute",
     "SchemaRouter",
+    "merge_route_lists",
+    "normalize_route_scores",
     "DBCopilot",
     "DBCopilotConfig",
 ]

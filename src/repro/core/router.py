@@ -9,7 +9,9 @@ candidate schema, exactly as described in the paper.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
 
 from repro.core.constrained import GraphConstrainedDecoding
 from repro.core.graph import SchemaGraph
@@ -67,6 +69,53 @@ class SchemaRoute:
     database: str
     tables: tuple[str, ...]
     score: float
+
+
+def normalize_route_scores(routes: Sequence[SchemaRoute]) -> list[SchemaRoute]:
+    """Softmax-normalize raw log-probability scores over a candidate pool.
+
+    The transformation is monotonic, so it never changes the ranking of the
+    pool it is applied to; it turns accumulated log-probabilities into
+    probability-like weights in ``(0, 1]`` that sum to 1.  Cross-shard merging
+    uses this on the *pooled* candidates of all shards (never per shard), which
+    keeps scores produced by the same underlying model directly comparable
+    while presenting a calibrated ranking to callers.
+    """
+    if not routes:
+        return []
+    peak = max(route.score for route in routes)
+    weights = [math.exp(route.score - peak) for route in routes]
+    # fsum is exactly rounded, so the normalizer -- and therefore every
+    # normalized score -- is identical no matter what order shards answer in.
+    total = math.fsum(weights)
+    return [replace(route, score=weight / total)
+            for route, weight in zip(routes, weights)]
+
+
+def merge_route_lists(route_lists: Iterable[Sequence[SchemaRoute]],
+                      max_candidates: int | None = None,
+                      normalize: bool = True) -> list[SchemaRoute]:
+    """Deterministically merge per-shard candidate lists into one ranking.
+
+    The result is independent of the order of ``route_lists`` (scatter-gather
+    may collect shards in any order): candidates are pooled, optionally
+    normalized with :func:`normalize_route_scores`, sorted by
+    ``(-score, database, tables)``, and deduplicated per database keeping the
+    best-scored entry.  With disjoint shard catalogs the dedup is a no-op; it
+    guards against overlapping assignments.
+    """
+    pooled = [route for routes in route_lists for route in routes]
+    if normalize:
+        pooled = normalize_route_scores(pooled)
+    pooled.sort(key=lambda route: (-route.score, route.database, route.tables))
+    merged: list[SchemaRoute] = []
+    seen: set[str] = set()
+    for route in pooled:
+        if route.database in seen:
+            continue
+        seen.add(route.database)
+        merged.append(route)
+    return merged[:max_candidates] if max_candidates is not None else merged
 
 
 @dataclass

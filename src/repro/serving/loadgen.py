@@ -25,10 +25,15 @@ class WorkloadConfig:
 
     num_requests: int = 200
     #: Fraction of ``num_requests`` drawn as *distinct* questions; the rest
-    #: are repeats, skewed towards the head of the pool.
+    #: are repeats, skewed towards the head of the pool ("head" distribution).
     unique_fraction: float = 0.25
     #: Zipf-like skew exponent; higher concentrates traffic on few questions.
     skew: float = 1.0
+    #: "head" draws from a truncated pool of ``num_requests * unique_fraction``
+    #: distinct questions; "zipf" draws rank-weighted from the *whole* question
+    #: pool (``P(rank) ~ 1 / rank^skew``), the shape cluster benchmarks use to
+    #: model hot-shard traffic without capping the distinct-question tail.
+    distribution: str = "head"
     seed: int = 0
     #: "closed" (back-to-back) or "paced" (open loop at ``target_qps``).
     mode: str = "closed"
@@ -41,6 +46,10 @@ class WorkloadConfig:
             raise ValueError("num_requests must be positive")
         if not 0.0 < self.unique_fraction <= 1.0:
             raise ValueError("unique_fraction must be in (0, 1]")
+        if self.distribution not in ("head", "zipf"):
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+        if self.skew < 0:
+            raise ValueError("skew must be non-negative")
         if self.mode not in ("closed", "paced"):
             raise ValueError(f"unknown mode {self.mode!r}")
         if self.mode == "paced" and self.target_qps <= 0:
@@ -83,10 +92,13 @@ class LoadGenerator:
         """The request stream: same config + pool => same list, always."""
         config = self.config
         rng = SeededRng(config.seed).child("workload")
-        pool_size = max(1, min(len(self.questions),
-                               round(config.num_requests * config.unique_fraction)))
-        pool = self.questions[:pool_size]
-        weights = [1.0 / (rank + 1) ** config.skew for rank in range(pool_size)]
+        if config.distribution == "zipf":
+            pool = self.questions
+        else:
+            pool_size = max(1, min(len(self.questions),
+                                   round(config.num_requests * config.unique_fraction)))
+            pool = self.questions[:pool_size]
+        weights = [1.0 / (rank + 1) ** config.skew for rank in range(len(pool))]
         return [rng.weighted_choice(pool, weights) for _ in range(config.num_requests)]
 
     # -- driving -------------------------------------------------------------
@@ -132,6 +144,34 @@ class LoadGenerator:
                 thread.join()
         duration = max(time.monotonic() - started, 1e-9)
         return self._report(requests, errors[0], duration, recorder)
+
+    def run_batched(self, submit_many: Callable[[Sequence[str]], object],
+                    batch_size: int = 16) -> LoadReport:
+        """Drive a ``submit_many``-style target (e.g. a cluster service) with
+        the workload cut into waves of ``batch_size`` requests.
+
+        Scatter-gather services route a whole batch in one dispatch, so the
+        natural load unit is a wave rather than a single call; the recorded
+        latency is the per-request share of each wave.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        requests = self.workload()
+        recorder = LatencyRecorder(max_samples=len(requests))
+        errors = 0
+        started = time.monotonic()
+        for offset in range(0, len(requests), batch_size):
+            wave = requests[offset:offset + batch_size]
+            wave_started = time.monotonic()
+            try:
+                submit_many(wave)
+            except Exception:
+                errors += len(wave)
+            per_request = (time.monotonic() - wave_started) / len(wave)
+            for _ in wave:
+                recorder.record(per_request)
+        duration = max(time.monotonic() - started, 1e-9)
+        return self._report(requests, errors, duration, recorder)
 
     def _run_paced(self, submit: Callable[[str], object],
                    requests: list[str]) -> LoadReport:

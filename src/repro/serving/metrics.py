@@ -35,27 +35,46 @@ class LatencyRecorder:
             if seconds > self.max_seconds:
                 self.max_seconds = seconds
 
-    def percentile(self, percent: float) -> float:
-        """The ``percent``-th percentile (nearest-rank) of the reservoir, in seconds."""
-        with self._lock:
-            samples = sorted(self._samples)
+    @staticmethod
+    def _percentile_of(samples: list[float], percent: float) -> float:
+        """Nearest-rank percentile of pre-sorted ``samples``; 0.0 when empty."""
         if not samples:
             return 0.0
         rank = max(1, math.ceil(percent / 100.0 * len(samples)))
         return samples[min(rank, len(samples)) - 1]
 
+    def percentile(self, percent: float) -> float:
+        """The ``percent``-th percentile (nearest-rank) of the reservoir, in seconds."""
+        with self._lock:
+            samples = sorted(self._samples)
+        return self._percentile_of(samples, percent)
+
     @property
     def mean_seconds(self) -> float:
-        return self.total_seconds / self.count if self.count else 0.0
+        with self._lock:
+            return self.total_seconds / self.count if self.count else 0.0
 
     def summary(self) -> dict:
+        """A consistent snapshot: all fields reflect one point in time.
+
+        Count, mean, max, and every percentile are read under a single lock
+        acquisition, so concurrent :meth:`record` calls can never produce a
+        summary whose count and percentiles disagree.  An empty window yields
+        zeros throughout instead of raising.
+        """
+        with self._lock:
+            samples = sorted(self._samples)
+            count = self.count
+            total_seconds = self.total_seconds
+            max_seconds = self.max_seconds
+        mean_seconds = total_seconds / count if count else 0.0
         return {
-            "count": self.count,
-            "mean_ms": round(self.mean_seconds * 1000.0, 3),
-            "p50_ms": round(self.percentile(50.0) * 1000.0, 3),
-            "p95_ms": round(self.percentile(95.0) * 1000.0, 3),
-            "p99_ms": round(self.percentile(99.0) * 1000.0, 3),
-            "max_ms": round(self.max_seconds * 1000.0, 3),
+            "count": count,
+            "mean_ms": round(mean_seconds * 1000.0, 3),
+            "p50_ms": round(self._percentile_of(samples, 50.0) * 1000.0, 3),
+            "p95_ms": round(self._percentile_of(samples, 95.0) * 1000.0, 3),
+            "p99_ms": round(self._percentile_of(samples, 99.0) * 1000.0, 3),
+            "max_ms": round(max_seconds * 1000.0, 3),
         }
 
 
@@ -105,13 +124,21 @@ class MetricsRegistry:
         return total / batches if batches else 0.0
 
     def snapshot(self) -> dict:
+        """A consistent snapshot: counters and batch accounting are read under
+        one lock acquisition (latency has its own lock and snapshots itself in
+        :meth:`LatencyRecorder.summary`), so QPS, counters, and the histogram
+        all describe the same instant."""
+        uptime = self.uptime_seconds()
         with self._lock:
             counters = dict(self._counters)
+            histogram = dict(sorted(self._batch_sizes.items()))
+        batch_total = sum(size * count for size, count in histogram.items())
+        batches = sum(histogram.values())
         return {
-            "uptime_seconds": round(self.uptime_seconds(), 3),
+            "uptime_seconds": round(uptime, 3),
             "counters": counters,
-            "qps": round(self.qps(), 2),
+            "qps": round(counters.get("requests", 0) / uptime, 2),
             "latency": self.latency.summary(),
-            "batch_size_histogram": self.batch_size_histogram(),
-            "mean_batch_size": round(self.mean_batch_size(), 2),
+            "batch_size_histogram": histogram,
+            "mean_batch_size": round(batch_total / batches, 2) if batches else 0.0,
         }

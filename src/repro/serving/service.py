@@ -164,6 +164,22 @@ class RoutingService:
         if self.cache is not None:
             self.cache.bump_version()
 
+    def replace_router(self, router: SchemaRouter,
+                       invalidate_cache: bool = True) -> None:
+        """Swap in a new trained router (e.g. after a shard rebalance).
+
+        The swap happens under the route lock, so in-flight batches finish on
+        the old router and every later request decodes with the new one.  By
+        default the route cache is version-bumped, since answers cached for the
+        old catalog may no longer be valid.
+        """
+        if not router.is_trained:
+            raise ValueError("replace_router requires a trained router")
+        with self._route_lock:
+            self.router = router
+        if invalidate_cache:
+            self.notify_catalog_changed()
+
     # -- introspection -------------------------------------------------------
     def stats(self) -> dict:
         snapshot = self.metrics.snapshot()

@@ -1,0 +1,635 @@
+"""Tests for the cluster subsystem: partitioning, dispatch, replicas,
+rebalancing, and whole-cluster checkpoints."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterDispatcher,
+    ClusterError,
+    ClusterRebalancer,
+    ClusterRoutingService,
+    RebalanceError,
+    ReplicaSet,
+    ShardAssignment,
+    ShardTimeoutError,
+    ShardWorker,
+    load_cluster,
+    load_cluster_manifest,
+    partition_catalog,
+    project_router,
+    save_cluster,
+)
+from repro.core import (
+    RouterConfig,
+    SchemaGraph,
+    SchemaRoute,
+    SchemaRouter,
+    SchemaSampler,
+    SynthesisConfig,
+    TemplateQuestioner,
+    merge_route_lists,
+    normalize_route_scores,
+    synthesize_training_data,
+)
+from repro.schema import Catalog, Column, ColumnType, Database, ForeignKey, Table
+from repro.serving.checkpoint import CheckpointError
+
+
+def _database(name: str, tables: dict[str, list[str]],
+              foreign_keys: list[tuple[str, str, str, str]] = ()) -> Database:
+    return Database(
+        name=name,
+        tables=[
+            Table(table, [Column(column, ColumnType.INTEGER, is_primary_key=(index == 0))
+                          for index, column in enumerate(columns)])
+            for table, columns in tables.items()
+        ],
+        foreign_keys=[ForeignKey(*fk) for fk in foreign_keys],
+    )
+
+
+def _cluster_catalog() -> Catalog:
+    """Four small single-domain databases (so shards get clear owners)."""
+    return Catalog(name="cluster_small", databases=[
+        _database("concert_hall", {
+            "singer": ["singer_id", "stage_name", "country"],
+            "concert": ["concert_id", "venue", "season"],
+            "singer_in_concert": ["singer_id", "concert_id"],
+        }, [("singer_in_concert", "singer_id", "singer", "singer_id"),
+            ("singer_in_concert", "concert_id", "concert", "concert_id")]),
+        _database("world_atlas", {
+            "country": ["country_id", "country_name", "continent"],
+            "city": ["city_id", "city_name", "population", "country_id"],
+        }, [("city", "country_id", "country", "country_id")]),
+        _database("book_library", {
+            "author": ["author_id", "author_name", "birth_year"],
+            "book": ["book_id", "title", "author_id", "shelf"],
+        }, [("book", "author_id", "author", "author_id")]),
+        _database("grocery_shop", {
+            "product": ["product_id", "product_label", "price"],
+            "purchase": ["purchase_id", "product_id", "quantity"],
+        }, [("purchase", "product_id", "product", "product_id")]),
+    ])
+
+
+QUESTIONS = [
+    "which singers performed in a concert",
+    "list the venue of every concert",
+    "how many cities are there in each country",
+    "what is the population of each city",
+    "show the title of every book and its author name",
+    "which authors were born after 1960",
+    "what is the price of each product",
+    "how many purchases were made per product",
+]
+
+
+@pytest.fixture(scope="module")
+def master_router() -> SchemaRouter:
+    catalog = _cluster_catalog()
+    graph = SchemaGraph.from_catalog(catalog)
+    questioner = TemplateQuestioner(catalog=catalog, seed=23)
+    sampler = SchemaSampler(graph, seed=23)
+    report = synthesize_training_data(sampler, questioner, SynthesisConfig(num_samples=300))
+    router = SchemaRouter(graph=graph, config=RouterConfig(
+        epochs=10, embedding_dim=24, hidden_dim=40, num_beams=8, beam_groups=4, seed=23))
+    router.fit(report.examples)
+    return router
+
+
+def _signature(routes) -> list[tuple[str, tuple[str, ...]]]:
+    return [(route.database, route.tables) for route in routes]
+
+
+def _full_signature(routes) -> list[tuple[str, tuple[str, ...], float]]:
+    return [(route.database, route.tables, route.score) for route in routes]
+
+
+# -- partitioning --------------------------------------------------------------
+class TestPartition:
+    def test_round_robin_deals_in_catalog_order(self):
+        assignment = partition_catalog(_cluster_catalog(), 2, strategy="round_robin")
+        assert assignment.shards == (("concert_hall", "book_library"),
+                                     ("world_atlas", "grocery_shop"))
+
+    def test_size_balanced_levels_table_counts(self):
+        catalog = Catalog(name="lopsided", databases=[
+            _database("big", {f"t{i}": ["id", "x"] for i in range(6)}),
+            _database("mid", {f"t{i}": ["id", "x"] for i in range(3)}),
+            _database("small_a", {"t0": ["id", "x"]}),
+            _database("small_b", {"t0": ["id", "x"]}),
+        ])
+        assignment = partition_catalog(catalog, 2, strategy="size_balanced")
+        loads = [sum(catalog.database(name).num_tables for name in shard)
+                 for shard in assignment.shards]
+        assert sorted(loads) == [5, 6]  # big | mid + the two small ones
+
+    def test_joinability_groups_affine_databases(self):
+        # Two near-identical schemas (flight networks) plus two unrelated ones:
+        # the affine pair must land on the same shard.
+        catalog = Catalog(name="affine", databases=[
+            _database("airline_east", {
+                "flight": ["flight_id", "origin_airport", "destination_airport"],
+                "airport": ["airport_id", "airport_code"],
+            }),
+            _database("book_library", {
+                "author": ["author_id", "author_name"],
+                "book": ["book_id", "title", "author_id"],
+            }),
+            _database("airline_west", {
+                "flight": ["flight_id", "origin_airport", "destination_airport"],
+                "airport": ["airport_id", "airport_code"],
+            }),
+            _database("grocery_shop", {
+                "product": ["product_id", "price"],
+                "purchase": ["purchase_id", "product_id"],
+            }),
+        ])
+        assignment = partition_catalog(catalog, 2, strategy="joinability")
+        assert assignment.shard_of("airline_east") == assignment.shard_of("airline_west")
+
+    def test_every_strategy_is_a_deterministic_cover(self):
+        catalog = _cluster_catalog()
+        for strategy in ("round_robin", "size_balanced", "joinability"):
+            first = partition_catalog(catalog, 2, strategy=strategy)
+            second = partition_catalog(catalog, 2, strategy=strategy)
+            assert first == second
+            assert sorted(first.database_names) == sorted(catalog.database_names)
+            assert all(first.shards)  # no empty shards
+
+    def test_invalid_requests_rejected(self):
+        catalog = _cluster_catalog()
+        with pytest.raises(ValueError, match="positive"):
+            partition_catalog(catalog, 0)
+        with pytest.raises(ValueError, match="non-empty"):
+            partition_catalog(catalog, 99)
+        with pytest.raises(ValueError, match="strategy"):
+            partition_catalog(catalog, 2, strategy="alphabetical")
+        with pytest.raises(ValueError, match="multiple shards"):
+            ShardAssignment(shards=(("a", "b"), ("b",)))
+
+    def test_assignment_lookup_and_payload_round_trip(self):
+        assignment = partition_catalog(_cluster_catalog(), 3)
+        for shard_id, databases in enumerate(assignment.shards):
+            for name in databases:
+                assert assignment.shard_of(name) == shard_id
+        with pytest.raises(KeyError):
+            assignment.shard_of("nowhere")
+        rebuilt = ShardAssignment.from_payload(
+            json.loads(json.dumps(assignment.to_payload())))
+        assert rebuilt == assignment
+
+
+# -- projection ----------------------------------------------------------------
+class TestProjection:
+    def test_projected_router_stays_inside_its_shard(self, master_router):
+        shard = project_router(master_router, ("world_atlas", "book_library"))
+        for question in QUESTIONS:
+            for route in shard.route(question):
+                assert route.database in ("world_atlas", "book_library")
+
+    def test_projection_shares_the_master_model(self, master_router):
+        shard = project_router(master_router, ("concert_hall",), num_beams=2)
+        assert shard.model is master_router.model
+        assert shard.config.num_beams == 2
+
+    def test_empty_projection_routes_nowhere(self, master_router):
+        shard = project_router(master_router, ())
+        assert shard.route(QUESTIONS[0]) == []
+
+    def test_projection_errors(self, master_router):
+        with pytest.raises(ValueError, match="untrained"):
+            project_router(SchemaRouter(graph=master_router.graph), ("world_atlas",))
+        with pytest.raises(ValueError, match="not in the master catalog"):
+            project_router(master_router, ("mystery_db",))
+
+
+# -- score merging (core helpers) ----------------------------------------------
+class TestMerge:
+    def test_normalization_is_monotonic_and_sums_to_one(self):
+        routes = [SchemaRoute("a", ("t",), -3.0), SchemaRoute("b", ("t",), -1.0),
+                  SchemaRoute("c", ("t",), -7.5)]
+        normalized = normalize_route_scores(routes)
+        assert sum(route.score for route in normalized) == pytest.approx(1.0)
+        assert [r.database for r in sorted(normalized, key=lambda r: -r.score)] == \
+            ["b", "a", "c"]
+        assert normalize_route_scores([]) == []
+
+    def test_merge_is_independent_of_shard_order(self):
+        shard_a = [SchemaRoute("a", ("t",), -1.0), SchemaRoute("b", ("t",), -4.0)]
+        shard_b = [SchemaRoute("c", ("t", "u"), -2.0)]
+        shard_c = [SchemaRoute("d", ("t",), -3.0)]
+        forward = merge_route_lists([shard_a, shard_b, shard_c], max_candidates=3)
+        backward = merge_route_lists([shard_c, shard_b, shard_a], max_candidates=3)
+        assert _full_signature(forward) == _full_signature(backward)
+        assert [route.database for route in forward] == ["a", "c", "d"]
+
+    def test_merge_deduplicates_overlapping_databases(self):
+        merged = merge_route_lists([
+            [SchemaRoute("a", ("t",), -2.0)],
+            [SchemaRoute("a", ("t", "u"), -1.0)],
+        ])
+        assert _signature(merged) == [("a", ("t", "u"))]
+
+
+# -- dispatcher ----------------------------------------------------------------
+class TestDispatcher:
+    @staticmethod
+    def _fake_target(database: str, score: float):
+        def route_batch(questions, max_candidates):
+            return [[SchemaRoute(database, ("t",), score)] for _ in questions]
+        return route_batch
+
+    def test_scatter_gather_merges_shard_answers(self):
+        dispatcher = ClusterDispatcher([
+            self._fake_target("alpha", -2.0),
+            self._fake_target("beta", -1.0),
+        ])
+        with dispatcher:
+            merged = dispatcher.route_batch(["q1", "q2"])
+        assert [_signature(routes) for routes in merged] == \
+            [[("beta", ("t",)), ("alpha", ("t",))]] * 2
+
+    def test_shard_timeout_fails_the_request(self):
+        def slow(questions, max_candidates):
+            time.sleep(0.5)
+            return [[] for _ in questions]
+
+        with ClusterDispatcher([self._fake_target("alpha", -1.0), slow],
+                               shard_timeout_seconds=0.05) as dispatcher:
+            with pytest.raises(ClusterError):
+                dispatcher.route_batch(["q"])
+            assert dispatcher.shard_failures == 1
+
+    def test_allow_partial_serves_the_remaining_shards(self):
+        def broken(questions, max_candidates):
+            raise RuntimeError("shard down")
+
+        with ClusterDispatcher([self._fake_target("alpha", -1.0), broken],
+                               allow_partial=True) as dispatcher:
+            merged = dispatcher.route_batch(["q"])
+            assert _signature(merged[0]) == [("alpha", ("t",))]
+            assert dispatcher.partial_gathers == 1
+        # ... unless every shard failed.
+        with ClusterDispatcher([broken], allow_partial=True) as dispatcher:
+            with pytest.raises(ClusterError):
+                dispatcher.route_batch(["q"])
+
+    def test_cascade_escalates_only_low_confidence_questions(self):
+        # Fast tier: near-tie for "ambiguous", clear winner for "easy".
+        def fast(questions, max_candidates):
+            return [[SchemaRoute("alpha", ("t",), -1.0),
+                     SchemaRoute("beta", ("t",), -1.1 if question == "ambiguous"
+                                 else -9.0)]
+                    for question in questions]
+
+        careful_calls: list[list[str]] = []
+
+        def careful(questions, max_candidates):
+            careful_calls.append(list(questions))
+            return [[SchemaRoute("beta", ("t", "u"), -0.5)] for _ in questions]
+
+        with ClusterDispatcher([fast], careful_targets=[careful],
+                               escalation_threshold=0.9) as dispatcher:
+            merged = dispatcher.route_batch(["easy", "ambiguous"])
+        assert careful_calls == [["ambiguous"]]  # only the near-tie escalated
+        assert dispatcher.escalations == 1
+        assert merged[0][0].database == "alpha"       # fast answer kept
+        assert _signature(merged[1]) == [("beta", ("t", "u"))]  # careful answer
+
+    def test_cascade_configuration_validated(self):
+        target = self._fake_target("alpha", -1.0)
+        with pytest.raises(ValueError, match="pair up"):
+            ClusterDispatcher([target], careful_targets=[target, target],
+                              escalation_threshold=0.5)
+        with pytest.raises(ValueError, match="escalation_threshold"):
+            ClusterDispatcher([target], careful_targets=[target],
+                              escalation_threshold=1.5)
+
+    def test_empty_batch_and_closed_dispatcher(self):
+        dispatcher = ClusterDispatcher([self._fake_target("alpha", -1.0)])
+        assert dispatcher.route_batch([]) == []
+        dispatcher.close()
+        with pytest.raises(RuntimeError):
+            dispatcher.route_batch(["q"])
+        with pytest.raises(ValueError):
+            ClusterDispatcher([])
+
+
+# -- replication ---------------------------------------------------------------
+class TestReplicaSet:
+    def _workers(self, master_router, count: int = 2) -> list[ShardWorker]:
+        return [
+            ShardWorker.from_projection(0, ("concert_hall", "world_atlas"),
+                                        master_router, num_beams=2)
+            for _ in range(count)
+        ]
+
+    def test_killing_one_replica_leaves_answers_unchanged(self, master_router):
+        workers = self._workers(master_router)
+        replica_set = ReplicaSet(0, workers, quarantine_seconds=60.0)
+        healthy = [replica_set.route_batch([question])[0] for question in QUESTIONS]
+        workers[0].service.close()  # "kill" one replica: submits now raise
+        workers[1].service.close()
+        replicas = self._workers(master_router)
+        replica_set = ReplicaSet(0, replicas, quarantine_seconds=60.0)
+        replicas[0].service.close()
+        after = [replica_set.route_batch([question])[0] for question in QUESTIONS]
+        assert [_full_signature(routes) for routes in after] == \
+            [_full_signature(routes) for routes in healthy]
+        assert replica_set.failovers > 0
+        assert replica_set.healthy_count() == 1
+        stats = replica_set.stats()
+        assert stats["replicas"][0]["quarantined"] is True
+        for worker in replicas:
+            worker.close()
+
+    def test_quarantined_replica_is_retried_after_expiry(self, master_router):
+        now = [0.0]
+        workers = self._workers(master_router)
+        replica_set = ReplicaSet(0, workers, quarantine_seconds=30.0,
+                                 clock=lambda: now[0])
+        calls: list[int] = []
+        originals = [worker.route_batch for worker in workers]
+
+        def failing_once(questions, max_candidates=None, careful=False):
+            calls.append(0)
+            raise RuntimeError("transient")
+
+        workers[0].route_batch = failing_once  # type: ignore[method-assign]
+        replica_set.route_batch(["q"])  # fails over to replica 1, quarantines 0
+        assert replica_set.healthy_count() == 1
+        workers[0].route_batch = originals[0]  # type: ignore[method-assign]
+        now[0] = 31.0  # quarantine expired: replica 0 is eligible again
+        assert replica_set.healthy_count() == 2
+        replica_set.route_batch(["q"])  # round-robin lands on replica 1 ...
+        replica_set.route_batch(["q"])  # ... then retries the recovered replica 0
+        assert replica_set.stats()["replicas"][0]["successes"] >= 1
+        for worker in workers:
+            worker.close()
+
+    def test_all_replicas_failing_raises(self, master_router):
+        workers = self._workers(master_router)
+        replica_set = ReplicaSet(0, workers, quarantine_seconds=60.0)
+        for worker in workers:
+            worker.service.close()
+        with pytest.raises(ClusterError, match="all 2 replicas"):
+            replica_set.route_batch(["q"])
+        with pytest.raises(ValueError):
+            ReplicaSet(0, [])
+
+
+# -- the cluster service -------------------------------------------------------
+class TestClusterRoutingService:
+    @pytest.fixture()
+    def cluster(self, master_router):
+        config = ClusterConfig(num_shards=2, strategy="round_robin")
+        with ClusterRoutingService.from_router(master_router, config) as service:
+            yield service
+
+    def test_matches_monolithic_top1_on_seeded_questions(self, master_router, cluster):
+        agree = 0
+        for question in QUESTIONS:
+            mono = master_router.route(question)
+            merged = cluster.submit(question)
+            assert merged, f"cluster routed {question!r} to nothing"
+            if mono and merged[0].database == mono[0].database:
+                agree += 1
+        assert agree >= round(0.95 * len(QUESTIONS))
+
+    def test_scores_are_normalized_probabilities(self, cluster):
+        routes = cluster.submit(QUESTIONS[0])
+        assert all(0.0 < route.score <= 1.0 for route in routes)
+        assert sum(route.score for route in routes) <= 1.0 + 1e-9
+        assert routes == sorted(routes, key=lambda route: -route.score)
+
+    def test_top_k_identical_across_runs_and_shard_orderings(self, master_router):
+        config = ClusterConfig(num_shards=2, strategy="round_robin")
+        assignment = partition_catalog(master_router.graph.catalog, 2,
+                                       strategy="round_robin")
+        reversed_assignment = ShardAssignment(shards=assignment.shards[::-1],
+                                              strategy="round_robin")
+        with ClusterRoutingService.from_router(master_router, config) as forward, \
+                ClusterRoutingService.from_router(master_router, config,
+                                                  assignment=reversed_assignment) as backward:
+            for question in QUESTIONS:
+                assert _full_signature(forward.submit(question)) == \
+                    _full_signature(backward.submit(question))
+
+    def test_submit_many_matches_submit(self, cluster):
+        batch = cluster.submit_many(QUESTIONS[:4])
+        for question, routes in zip(QUESTIONS[:4], batch):
+            assert _full_signature(routes) == _full_signature(cluster.submit(question))
+        assert cluster.submit_many([]) == []
+
+    def test_per_shard_caches_absorb_repeats(self, cluster):
+        cluster.submit(QUESTIONS[0])
+        cluster.submit(QUESTIONS[0])
+        stats = cluster.stats()
+        assert stats["cache_hit_rate"] > 0.0
+        assert stats["counters"]["requests"] == 2
+        assert stats["num_shards"] == 2
+        assert len(stats["shards"]) == 2
+        assert json.loads(json.dumps(stats)) == stats
+
+    def test_targeted_invalidation_only_touches_the_owner_shard(self, cluster):
+        cluster.submit(QUESTIONS[0])
+        database = cluster.assignment.shards[0][0]
+        cluster.notify_catalog_changed(database)
+        caches = [replica_set.workers[0].service.cache for replica_set in cluster.shards]
+        assert caches[0].catalog_version == 1
+        assert caches[1].catalog_version == 0
+        assert cluster.catalog_version == 1
+
+    def test_max_candidates_bounds_the_merged_answer(self, cluster):
+        assert len(cluster.submit(QUESTIONS[0], max_candidates=1)) == 1
+
+    def test_escalation_tier_is_wired_and_counted(self, master_router, cluster):
+        assert all(worker.careful_service is not None
+                   for replica_set in cluster.shards
+                   for worker in replica_set.workers)
+        cluster.submit_many(QUESTIONS)
+        stats = cluster.stats()
+        assert stats["dispatcher"]["escalations"] >= 0
+        # With the cascade disabled, shards run a single wider-beam pass.
+        config = ClusterConfig(num_shards=2, escalation_threshold=None)
+        with ClusterRoutingService.from_router(master_router, config) as single_pass:
+            worker = single_pass.shards[0].workers[0]
+            assert worker.careful_service is None
+            assert worker.router.config.num_beams == \
+                master_router.config.num_beams // 2
+            assert single_pass.submit(QUESTIONS[0])
+
+    def test_closed_cluster_rejects_requests(self, master_router):
+        service = ClusterRoutingService.from_router(
+            master_router, ClusterConfig(num_shards=2))
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.submit(QUESTIONS[0])
+        with pytest.raises(RuntimeError):
+            service.submit_many(QUESTIONS[:2])
+
+    def test_invalid_configs_rejected(self, master_router):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_shards=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(replicas=0)
+        with pytest.raises(ValueError):
+            ClusterRoutingService([], partition_catalog(master_router.graph.catalog, 2))
+
+
+# -- rebalancing ---------------------------------------------------------------
+class TestRebalance:
+    @pytest.fixture()
+    def cluster(self, master_router):
+        config = ClusterConfig(num_shards=2, strategy="round_robin")
+        with ClusterRoutingService.from_router(master_router, config) as service:
+            yield service
+
+    def test_remove_then_add_restores_routing(self, cluster):
+        before = [_signature(cluster.submit(question)) for question in QUESTIONS]
+        rebalancer = ClusterRebalancer(cluster)
+        victim = cluster.assignment.shards[0][0]
+        removed_from = rebalancer.remove_database(victim)
+        assert victim not in cluster.database_names
+        while_gone = cluster.submit_many(QUESTIONS)
+        assert all(victim not in {route.database for route in routes}
+                   for routes in while_gone)
+        rebalancer.add_database(victim, shard_id=removed_from)
+        after = [_signature(cluster.submit(question)) for question in QUESTIONS]
+        assert after == before
+
+    def test_rebalance_invalidates_only_the_affected_shard_cache(self, cluster):
+        # Warm both shard caches, then move a database out of shard 0.
+        cluster.submit_many(QUESTIONS)
+        caches = [replica_set.workers[0].service.cache for replica_set in cluster.shards]
+        assert all(len(cache) > 0 for cache in caches)
+        rebalancer = ClusterRebalancer(cluster)
+        victim = cluster.assignment.shards[0][0]
+        rebalancer.remove_database(victim)
+        # Shard 0's cache entries are stale (version-bumped, emptied on next
+        # access); shard 1's survive verbatim.
+        assert caches[0].catalog_version == 1
+        assert caches[1].catalog_version == 0
+        untouched = len(caches[1])
+        cluster.submit_many(QUESTIONS)
+        assert caches[1].stats()["invalidations"] == 0
+        assert len(caches[1]) == untouched
+        assert caches[0].stats()["invalidations"] > 0
+
+    def test_catalog_version_counts_rebalances(self, cluster):
+        rebalancer = ClusterRebalancer(cluster)
+        victim = cluster.assignment.shards[1][0]
+        assert cluster.catalog_version == 0
+        rebalancer.remove_database(victim)
+        rebalancer.add_database(victim)
+        assert cluster.catalog_version == 2
+
+    def test_add_prefers_the_least_loaded_shard(self, cluster):
+        rebalancer = ClusterRebalancer(cluster)
+        victim = cluster.assignment.shards[0][0]
+        rebalancer.remove_database(victim)
+        assert rebalancer.least_loaded_shard() == 0
+        assert rebalancer.add_database(victim) == 0
+
+    def test_move_database_relocates(self, cluster):
+        rebalancer = ClusterRebalancer(cluster)
+        database = cluster.assignment.shards[0][0]
+        rebalancer.move_database(database, 1)
+        assert cluster.shard_of(database) == 1
+        rebalancer.move_database(database, 1)  # no-op: already there
+        assert cluster.shard_of(database) == 1
+
+    def test_invalid_rebalances_rejected(self, cluster):
+        rebalancer = ClusterRebalancer(cluster)
+        with pytest.raises(RebalanceError, match="outside the master"):
+            rebalancer.add_database("mystery_db")
+        with pytest.raises(RebalanceError, match="already served"):
+            rebalancer.add_database(cluster.assignment.shards[0][0])
+        with pytest.raises(RebalanceError, match="not currently served"):
+            cluster_db = cluster.assignment.shards[0][0]
+            rebalancer.remove_database(cluster_db)
+            rebalancer.remove_database(cluster_db)
+        with pytest.raises(RebalanceError, match="not currently served"):
+            rebalancer.move_database(cluster_db, 1)
+        with pytest.raises(RebalanceError, match="no shard"):
+            rebalancer.add_database(cluster_db, shard_id=9)
+
+
+# -- cluster checkpoints -------------------------------------------------------
+class TestClusterCheckpoint:
+    def test_round_trip_reproduces_identical_routes(self, master_router, tmp_path):
+        config = ClusterConfig(num_shards=2, strategy="size_balanced")
+        with ClusterRoutingService.from_router(master_router, config) as original:
+            expected = [_full_signature(original.submit(question))
+                        for question in QUESTIONS]
+            original.notify_catalog_changed()
+            path = save_cluster(original, tmp_path / "cluster-ckpt")
+        with load_cluster(path) as reloaded:
+            assert reloaded.assignment == \
+                partition_catalog(master_router.graph.catalog, 2,
+                                  strategy="size_balanced")
+            assert reloaded.catalog_version == 1  # survives the restart
+            actual = [_full_signature(reloaded.submit(question))
+                      for question in QUESTIONS]
+        assert actual == expected
+
+    def test_manifest_structure(self, master_router, tmp_path):
+        with ClusterRoutingService.from_router(
+                master_router, ClusterConfig(num_shards=2)) as cluster:
+            path = save_cluster(cluster, tmp_path / "cluster-ckpt")
+        manifest = load_cluster_manifest(path)
+        assert manifest["format"] == "repro-cluster-checkpoint"
+        assert manifest["version"] == 1
+        assert len(manifest["shards"]) == 2
+        assert (path / "master" / "manifest.json").is_file()
+        for entry in manifest["shards"]:
+            assert (path / entry["dir"] / "weights.npz").is_file()
+
+    def test_shard_checkpoint_boots_standalone(self, master_router, tmp_path):
+        with ClusterRoutingService.from_router(
+                master_router, ClusterConfig(num_shards=2)) as cluster:
+            databases = cluster.assignment.shards[0]
+            path = save_cluster(cluster, tmp_path / "cluster-ckpt")
+        shard_router = SchemaRouter.from_checkpoint(path / "shard-00")
+        assert tuple(shard_router.graph.catalog.database_names) == databases
+
+    def test_load_with_replica_override(self, master_router, tmp_path):
+        with ClusterRoutingService.from_router(
+                master_router, ClusterConfig(num_shards=2)) as cluster:
+            expected = [_full_signature(cluster.submit(question))
+                        for question in QUESTIONS[:3]]
+            path = save_cluster(cluster, tmp_path / "cluster-ckpt")
+        # The override may change serving knobs, but routing-affecting knobs
+        # (escalation, beam budgets) always come from the checkpoint.
+        override = ClusterConfig(num_shards=2, replicas=2,
+                                 shard_timeout_seconds=5.0,
+                                 escalation_threshold=None, shard_num_beams=7)
+        with load_cluster(path, config=override) as replicated:
+            assert all(replica_set.num_replicas == 2
+                       for replica_set in replicated.shards)
+            assert replicated.config.escalation_threshold == 0.8
+            assert [_full_signature(replicated.submit(question))
+                    for question in QUESTIONS[:3]] == expected
+
+    def test_invalid_checkpoints_rejected(self, master_router, tmp_path):
+        with pytest.raises(CheckpointError, match="cluster.json"):
+            load_cluster(tmp_path / "nowhere")
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / "cluster.json").write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(CheckpointError, match="not a cluster checkpoint"):
+            load_cluster(bad)
+        with ClusterRoutingService.from_router(
+                master_router, ClusterConfig(num_shards=2)) as cluster:
+            saved_master = cluster.master_router
+            cluster.master_router = None
+            with pytest.raises(CheckpointError, match="master router"):
+                save_cluster(cluster, tmp_path / "no-master")
+            cluster.master_router = saved_master

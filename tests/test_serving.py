@@ -319,6 +319,17 @@ class TestMetrics:
         assert summary["count"] == 100
         assert summary["p95_ms"] == pytest.approx(95.0)
 
+    def test_empty_window_yields_zeros(self):
+        recorder = LatencyRecorder()
+        assert recorder.percentile(50) == 0.0
+        assert recorder.percentile(99) == 0.0
+        summary = recorder.summary()
+        assert summary == {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0,
+                           "p95_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+        empty_registry_snapshot = MetricsRegistry().snapshot()
+        assert empty_registry_snapshot["qps"] == 0.0
+        assert empty_registry_snapshot["mean_batch_size"] == 0.0
+
     def test_registry_snapshot(self):
         registry = MetricsRegistry()
         registry.increment("requests", 10)
@@ -400,6 +411,20 @@ class TestRoutingService:
         with pytest.raises(ValueError, match="trained"):
             RoutingService(SchemaRouter(graph=trained_router.graph))
 
+    def test_replace_router_swaps_and_invalidates(self, trained_router):
+        with RoutingService(trained_router) as service:
+            service.submit(QUESTIONS[0])
+            replacement = SchemaRouter(graph=trained_router.graph,
+                                       config=trained_router.config)
+            replacement.restore(trained_router.model,
+                                trained_router.source_vocabulary,
+                                trained_router.target_vocabulary)
+            service.replace_router(replacement)
+            assert service.router is replacement
+            assert service.cache.catalog_version == 1
+            with pytest.raises(ValueError, match="trained"):
+                service.replace_router(SchemaRouter(graph=trained_router.graph))
+
     def test_concurrent_submits_coalesce(self, trained_router):
         config = ServingConfig(enable_cache=False, max_batch_size=8,
                                max_wait_seconds=0.05)
@@ -452,10 +477,42 @@ class TestLoadGenerator:
         assert report.latency["count"] == 20
         assert json.loads(json.dumps(report.to_json())) == report.to_json()
 
+    def test_zipf_distribution_spans_the_whole_pool(self):
+        config = WorkloadConfig(num_requests=400, distribution="zipf", skew=1.0,
+                                seed=3)
+        workload = LoadGenerator(QUESTIONS, config).workload()
+        counts = {question: workload.count(question) for question in QUESTIONS}
+        # Rank-weighted: the head question dominates, but the tail (which the
+        # "head" distribution would truncate away entirely) still appears.
+        assert counts[QUESTIONS[0]] == max(counts.values())
+        assert all(count > 0 for count in counts.values())
+        assert LoadGenerator(QUESTIONS, config).workload() == workload
+
+    def test_run_batched_drives_submit_many_targets(self):
+        waves: list[list[str]] = []
+
+        def submit_many(questions):
+            waves.append(list(questions))
+            return [[] for _ in questions]
+
+        generator = LoadGenerator(QUESTIONS, WorkloadConfig(
+            num_requests=20, unique_fraction=0.25, seed=6))
+        report = generator.run_batched(submit_many, batch_size=8)
+        assert [len(wave) for wave in waves] == [8, 8, 4]
+        assert report.num_requests == 20
+        assert report.errors == 0
+        assert report.latency["count"] == 20
+
     def test_invalid_configs_rejected(self):
         with pytest.raises(ValueError):
             WorkloadConfig(num_requests=0)
         with pytest.raises(ValueError):
             WorkloadConfig(mode="paced", target_qps=0.0)
         with pytest.raises(ValueError):
+            WorkloadConfig(distribution="bursty")
+        with pytest.raises(ValueError):
+            WorkloadConfig(skew=-0.5)
+        with pytest.raises(ValueError):
             LoadGenerator([], WorkloadConfig())
+        with pytest.raises(ValueError):
+            LoadGenerator(QUESTIONS).run_batched(lambda wave: wave, batch_size=0)
