@@ -10,14 +10,17 @@ routes/sec, cache hit rate, and p95 latency so CI can scrape it.
 from __future__ import annotations
 
 import json
+import os
 import time
 
 from repro.serving import LoadGenerator, WorkloadConfig
 from repro.utils.tables import ResultTable
 
 #: Shared workload shape: many repeats over a small distinct-question head.
-WORKLOAD = WorkloadConfig(num_requests=150, unique_fraction=0.1, skew=1.0,
-                          seed=17, concurrency=4)
+#: ``REPRO_BENCH_REQUESTS`` shrinks the seeded workload for smoke lanes.
+WORKLOAD = WorkloadConfig(
+    num_requests=int(os.environ.get("REPRO_BENCH_REQUESTS", "150")),
+    unique_fraction=0.1, skew=1.0, seed=17, concurrency=4)
 
 
 def test_serving_throughput(benchmark, spider_context, spider_serving):

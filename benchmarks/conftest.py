@@ -14,6 +14,21 @@ from repro.experiments import default_config, get_context
 from repro.serving import RoutingService, ServingConfig, save_router
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--backend", action="store", default="inproc",
+        choices=("inproc", "subprocess"),
+        help="cluster worker backend for bench_cluster_scaling: 'inproc' "
+             "(threads in this interpreter) or 'subprocess' (one "
+             "repro.cluster.procworker process per shard over the wire "
+             "protocol)")
+
+
+@pytest.fixture(scope="session")
+def cluster_backend(request) -> str:
+    return request.config.getoption("--backend")
+
+
 @pytest.fixture(scope="session")
 def experiment_config():
     return default_config()

@@ -20,7 +20,14 @@ across the shards and merges the candidates into one deterministic top-k:
 * :mod:`repro.cluster.service` -- :class:`ClusterRoutingService`, the façade
   mirroring the PR-1 ``RoutingService`` API plus cluster-wide metrics;
 * :mod:`repro.cluster.checkpoint` -- whole-cluster save/load (shard manifest
-  + per-shard router checkpoints) for identical restarts.
+  + per-shard router checkpoints) for identical restarts;
+* :mod:`repro.cluster.transport` -- the length-prefixed, versioned JSON wire
+  protocol (``hello`` handshake, route/stats/shutdown/error frames) that lets
+  a shard live outside this process;
+* :mod:`repro.cluster.procworker` -- multi-process shard workers: the
+  ``python -m repro.cluster.procworker`` child loop and the
+  :class:`ProcShardWorker` proxy with spawn / health-check / kill-and-respawn
+  lifecycle management (select with ``ClusterConfig(worker_backend="subprocess")``).
 """
 
 from repro.cluster.checkpoint import (
@@ -43,8 +50,38 @@ from repro.cluster.partition import (
 )
 from repro.cluster.rebalance import ClusterRebalancer, RebalanceError
 from repro.cluster.replica import ReplicaSet
-from repro.cluster.service import ClusterConfig, ClusterRoutingService
+from repro.cluster.service import WORKER_BACKENDS, ClusterConfig, ClusterRoutingService
 from repro.cluster.shard import ShardWorker, project_router
+from repro.cluster.transport import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameReader,
+    FrameTooLargeError,
+    FrameWriter,
+    ProtocolError,
+    TransportTimeoutError,
+    TruncatedFrameError,
+    UnknownMessageError,
+    VersionMismatchError,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+
+# Lazy (PEP 562): the worker child process runs ``python -m
+# repro.cluster.procworker``, and an eager import here would mean runpy
+# re-executes a module that the package import already created (the
+# "found in sys.modules" RuntimeWarning on every spawn).
+_PROCWORKER_EXPORTS = ("ProcShardWorker", "WorkerCrashedError", "WorkerError")
+
+
+def __getattr__(name: str):
+    if name in _PROCWORKER_EXPORTS:
+        from repro.cluster import procworker
+
+        return getattr(procworker, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "CLUSTER_FORMAT",
@@ -66,4 +103,21 @@ __all__ = [
     "ClusterRoutingService",
     "ShardWorker",
     "project_router",
+    "ProcShardWorker",
+    "WorkerCrashedError",
+    "WorkerError",
+    "WORKER_BACKENDS",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "FrameReader",
+    "FrameTooLargeError",
+    "FrameWriter",
+    "ProtocolError",
+    "TransportTimeoutError",
+    "TruncatedFrameError",
+    "UnknownMessageError",
+    "VersionMismatchError",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
 ]

@@ -20,6 +20,8 @@ weights, hence identical routes.
 from __future__ import annotations
 
 import json
+import shutil
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, replace
 from pathlib import Path
 
@@ -54,7 +56,20 @@ def save_cluster(cluster: ClusterRoutingService, path: str | Path) -> Path:
         directory = _shard_dir(shard_id)
         # Replicas are interchangeable projections of the same model; one
         # checkpoint per shard reproduces all of them.
-        save_router(replica_set.workers[0].router, path / directory)
+        worker = replica_set.workers[0]
+        if hasattr(worker, "router"):
+            save_router(worker.router, path / directory)
+        else:
+            # Subprocess workers have no in-memory router: their projected
+            # router already lives in the checkpoint directory they were
+            # booted from, so saving is a directory copy.
+            if worker.checkpoint_dir is None:
+                raise CheckpointError(
+                    f"shard {shard_id} worker has no checkpoint directory to copy")
+            source = Path(worker.checkpoint_dir).resolve()
+            target = (path / directory).resolve()
+            if source != target:
+                shutil.copytree(source, target, dirs_exist_ok=True)
         shard_entries.append({
             "shard_id": shard_id,
             "databases": list(replica_set.databases),
@@ -93,6 +108,71 @@ def load_cluster_manifest(path: str | Path) -> dict:
     return manifest
 
 
+def _spawn_proc_shards(path: Path, entries: list[dict], config: ClusterConfig,
+                       master: SchemaRouter) -> list[ReplicaSet]:
+    """Boot every subprocess replica of every shard, concurrently.
+
+    Each replica is its own ``repro.cluster.procworker`` process, booted from
+    the shard directory and driven over the wire protocol; the shard
+    checkpoint already carries the projected sub-catalog and beam budget, so
+    only serving knobs travel on the command line.  Spawning is fanned out on
+    a thread pool -- each child loads weights and handshakes on its own core,
+    so an N-worker cluster boots in ~one worker's time, not N.  On *any*
+    failure (spawn, handshake, manifest mismatch) every already-spawned
+    worker is closed: a failed load must not leak orphan processes.
+    """
+    from repro.cluster.procworker import ProcShardWorker
+
+    jobs = [entry for entry in entries for _ in range(config.replicas)]
+
+    def boot(entry: dict) -> "ProcShardWorker":
+        return ProcShardWorker(
+            entry["shard_id"], path / entry["dir"],
+            escalation_num_beams=config.escalation_beams_for(master),
+            enable_cache=config.enable_cache,
+            cache_size=config.cache_size,
+            cache_ttl_seconds=config.cache_ttl_seconds,
+            request_timeout_seconds=config.shard_timeout_seconds,
+        )
+
+    spawned: list[ProcShardWorker] = []
+    failure: BaseException | None = None
+    with ThreadPoolExecutor(max_workers=min(len(jobs), 8),
+                            thread_name_prefix="repro-cluster-spawn") as pool:
+        for future in [pool.submit(boot, entry) for entry in jobs]:
+            try:
+                spawned.append(future.result())
+            except BaseException as error:  # noqa: BLE001 - cleanup then re-raise
+                if failure is None:
+                    failure = error
+    try:
+        if failure is not None:
+            raise failure
+        for worker, entry in zip(spawned, jobs):
+            if sorted(worker.databases) != sorted(entry["databases"]):
+                raise CheckpointError(
+                    f"shard {entry['shard_id']} worker announced "
+                    f"{sorted(worker.databases)} but the manifest assigns "
+                    f"{entry['databases']}"
+                )
+    except BaseException:
+        for worker in spawned:
+            worker.close()
+        raise
+    replicas_of: dict[int, list[ProcShardWorker]] = {}
+    for worker in spawned:
+        replicas_of.setdefault(worker.shard_id, []).append(worker)
+    return [
+        ReplicaSet(
+            entry["shard_id"], replicas_of[entry["shard_id"]],
+            quarantine_seconds=config.quarantine_seconds,
+            attempt_timeout_seconds=config.shard_timeout_seconds
+            if config.replicas > 1 else None,
+        )
+        for entry in entries
+    ]
+
+
 def load_cluster(path: str | Path,
                  config: ClusterConfig | None = None) -> ClusterRoutingService:
     """Rebuild a :class:`ClusterRoutingService` from a checkpoint directory.
@@ -119,8 +199,17 @@ def load_cluster(path: str | Path,
     if config.num_shards != assignment.num_shards:
         config = replace(config, num_shards=assignment.num_shards)
     master = load_router(path / MASTER_DIR)
+    entries = sorted(manifest["shards"], key=lambda item: item["shard_id"])
+    if config.worker_backend == "subprocess":
+        shards = _spawn_proc_shards(path, entries, config, master)
+        if len(shards) != assignment.num_shards:
+            raise CheckpointError(f"cluster manifest lists {len(shards)} shards but "
+                                  f"the assignment has {assignment.num_shards}")
+        return ClusterRoutingService(shards, assignment, config=config,
+                                     master_router=master,
+                                     catalog_version=manifest.get("catalog_version", 0))
     shards = []
-    for entry in sorted(manifest["shards"], key=lambda item: item["shard_id"]):
+    for entry in entries:
         shard_id = entry["shard_id"]
         shard_router = load_router(path / entry["dir"])
         if sorted(shard_router.graph.catalog.database_names) != sorted(entry["databases"]):

@@ -105,6 +105,11 @@ class ClusterDispatcher:
         self._closed = False
         self._stats_lock = threading.Lock()
         self.shard_failures = 0
+        #: Of the failures, how many were timeouts.  A partial gather that
+        #: silently drops a slow shard is invisible to callers unless it is
+        #: counted: operators watch this to tell "shard crashed" from "shard
+        #: too slow for its budget".
+        self.shards_timed_out = 0
         self.partial_gathers = 0
         self.escalations = 0
 
@@ -159,6 +164,8 @@ class ClusterDispatcher:
             except Exception as error:
                 with self._stats_lock:
                     self.shard_failures += 1
+                    if isinstance(error, ShardTimeoutError):
+                        self.shards_timed_out += 1
                 if first_error is None:
                     first_error = error
         if first_error is not None:

@@ -1,0 +1,507 @@
+"""Multi-process shard workers: a shard in its own interpreter.
+
+The in-process :class:`~repro.cluster.shard.ShardWorker` shares one GIL with
+every other shard, so scatter-gather only overlaps the numpy portions of the
+decode.  This module moves the worker across a process boundary:
+
+* :func:`worker_main` is the child side -- ``python -m repro.cluster.procworker
+  --checkpoint DIR``.  It boots a :class:`ShardWorker` from a per-shard router
+  checkpoint (the directories ``save_cluster`` writes), performs the
+  ``hello``/``hello_ack`` version handshake on its stdin/stdout pipes, and
+  serves :mod:`repro.cluster.transport` frames until a ``shutdown`` frame or
+  EOF.
+
+* :class:`ProcShardWorker` is the dispatcher side -- a proxy with the same
+  ``route_batch(questions, max_candidates, careful)`` surface as
+  ``ShardWorker``, so :class:`~repro.cluster.replica.ReplicaSet` and
+  :class:`~repro.cluster.dispatcher.ClusterDispatcher` work unchanged over the
+  wire.  It owns the worker's lifecycle: spawn from a checkpoint directory,
+  health-check pings, kill on request timeout, automatic respawn after a
+  crash, and a graceful ``close()`` that drains the in-flight request before
+  sending ``shutdown``.
+
+Request/response is strictly serial per worker (one frame in flight), which
+matches how the dispatcher drives shards -- one scatter wave at a time -- and
+keeps the protocol trivially ordered.  Parallelism comes from having many
+workers, each on its own core.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.cluster.dispatcher import ClusterError, ShardTimeoutError
+from repro.cluster.shard import ShardWorker
+from repro.cluster.transport import (
+    FrameReader,
+    FrameTooLargeError,
+    FrameWriter,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    TransportTimeoutError,
+    check_protocol,
+    error_message,
+    hello_message,
+    read_frame,
+    route_lists_from_payload,
+    route_lists_to_payload,
+    write_frame,
+)
+from repro.core.router import SchemaRoute
+from repro.serving.service import ServingConfig
+
+
+class WorkerCrashedError(ClusterError):
+    """The worker process died (EOF / broken pipe) before answering."""
+
+
+class WorkerError(ClusterError):
+    """The worker answered a request with an ``error`` frame."""
+
+
+# -- child side ----------------------------------------------------------------
+def serve(worker: ShardWorker, reader, writer,
+          *, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+    """Handshake, then answer frames until ``shutdown`` or EOF.
+
+    Request-scoped failures (a malformed batch, an unexpected exception in the
+    router) answer with an ``error`` frame and keep serving; stream-level
+    corruption is fatal -- once framing is lost there is nothing left to trust.
+    """
+    write_frame(writer, hello_message(worker.shard_id, worker.databases, os.getpid()),
+                max_frame_bytes=max_frame_bytes)
+    ack = read_frame(reader, max_frame_bytes=max_frame_bytes)
+    if ack is None:
+        return  # dispatcher went away before acking; nothing to serve
+    if ack.get("type") != "hello_ack":
+        raise ProtocolError(f"expected hello_ack, got {ack.get('type')!r}")
+    check_protocol(ack)
+    while True:
+        message = read_frame(reader, max_frame_bytes=max_frame_bytes)
+        if message is None:
+            break  # dispatcher closed the pipe: treat as shutdown
+        request_id = message.get("id")
+        kind = message.get("type")
+        try:
+            if kind == "route_batch_request":
+                routes = worker.route_batch(list(message["questions"]),
+                                            max_candidates=message.get("max_candidates"),
+                                            careful=bool(message.get("careful", False)))
+                reply = {"type": "route_response", "id": request_id,
+                         "routes": route_lists_to_payload(routes)}
+            elif kind == "route_request":
+                routes = worker.route_batch([message["question"]],
+                                            max_candidates=message.get("max_candidates"),
+                                            careful=bool(message.get("careful", False)))
+                reply = {"type": "route_response", "id": request_id,
+                         "routes": route_lists_to_payload(routes)}
+            elif kind == "stats_request":
+                reply = {"type": "stats_response", "id": request_id,
+                         "stats": worker.stats()}
+            elif kind == "invalidate_cache":
+                worker.notify_catalog_changed()
+                reply = {"type": "ok", "id": request_id}
+            elif kind == "ping":
+                reply = {"type": "pong", "id": request_id, "pid": os.getpid()}
+            elif kind == "shutdown":
+                write_frame(writer, {"type": "shutdown_ack", "id": request_id},
+                            max_frame_bytes=max_frame_bytes)
+                break
+            elif kind == "crash":
+                os._exit(70)  # test hook: die without replying
+            else:
+                reply = error_message(
+                    request_id,
+                    ProtocolError(f"worker cannot handle message type {kind!r}"))
+        except Exception as error:  # request-scoped: report, keep serving
+            reply = error_message(request_id, error)
+        try:
+            write_frame(writer, reply, max_frame_bytes=max_frame_bytes)
+        except FrameTooLargeError as error:
+            # An oversized *reply* is request-scoped too: answer with an error
+            # frame instead of dying -- otherwise the dispatcher would retry
+            # the same lethal batch against every freshly-respawned replica.
+            write_frame(writer, error_message(request_id, error),
+                        max_frame_bytes=max_frame_bytes)
+
+
+def worker_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.procworker",
+        description="Serve one cluster shard over stdin/stdout frames.")
+    parser.add_argument("--checkpoint", required=True,
+                        help="per-shard router checkpoint directory")
+    parser.add_argument("--shard-id", type=int, default=0)
+    parser.add_argument("--escalation-num-beams", type=int, default=None,
+                        help="enable the careful decode tier at this beam budget")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the shard's route cache")
+    parser.add_argument("--cache-size", type=int, default=2048)
+    parser.add_argument("--cache-ttl-seconds", type=float, default=None)
+    parser.add_argument("--max-frame-bytes", type=int, default=MAX_FRAME_BYTES)
+    arguments = parser.parse_args(argv)
+
+    # The frame stream owns fd 1.  Re-point sys.stdout at stderr so a stray
+    # print() inside the router cannot corrupt the framing.
+    writer = sys.stdout.buffer
+    sys.stdout = sys.stderr
+    reader = sys.stdin.buffer
+
+    worker = ShardWorker.from_checkpoint(
+        arguments.shard_id, Path(arguments.checkpoint),
+        serving_config=ServingConfig(enable_batching=False,
+                                     enable_cache=not arguments.no_cache,
+                                     cache_size=arguments.cache_size,
+                                     cache_ttl_seconds=arguments.cache_ttl_seconds),
+        escalation_num_beams=arguments.escalation_num_beams,
+    )
+    try:
+        serve(worker, reader, writer, max_frame_bytes=arguments.max_frame_bytes)
+    except (BrokenPipeError, ProtocolError):
+        return 1  # dispatcher vanished or the stream corrupted; nothing to save
+    finally:
+        worker.close()
+    return 0
+
+
+# -- dispatcher side -----------------------------------------------------------
+def _repro_source_root() -> Path:
+    """The directory that must be on the child's PYTHONPATH to import repro."""
+    import repro
+
+    return Path(repro.__file__).resolve().parents[1]
+
+
+class ProcShardWorker:
+    """A shard worker living in a subprocess, driven over the wire protocol.
+
+    Quacks like :class:`ShardWorker` for the replica/dispatch layers
+    (``route_batch`` / ``stats`` / ``notify_catalog_changed`` / ``close`` /
+    ``databases``), plus process lifecycle:
+
+    * **spawn** -- boots ``python -m repro.cluster.procworker`` on a per-shard
+      checkpoint directory and runs the version handshake;
+    * **timeout** -- a request that misses ``request_timeout_seconds`` kills
+      the process (a wedged decode cannot be cancelled politely) and raises
+      :class:`ShardTimeoutError`, which the replica layer counts and fails
+      over;
+    * **crash** -- EOF mid-request raises :class:`WorkerCrashedError`; with
+      ``auto_respawn`` the next request transparently boots a fresh process
+      from the same checkpoint (counted in ``respawns``);
+    * **close** -- takes the request lock (draining any in-flight request),
+      sends ``shutdown``, and escalates to ``terminate``/``kill`` only if the
+      worker does not exit in time.
+    """
+
+    def __init__(self, shard_id: int, checkpoint_dir: str | Path, *,
+                 escalation_num_beams: int | None = None,
+                 enable_cache: bool = True,
+                 cache_size: int = 2048,
+                 cache_ttl_seconds: float | None = None,
+                 request_timeout_seconds: float | None = None,
+                 control_timeout_seconds: float = 10.0,
+                 spawn_timeout_seconds: float = 60.0,
+                 auto_respawn: bool = True,
+                 python_executable: str | None = None,
+                 max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.shard_id = shard_id
+        self.checkpoint_dir = Path(checkpoint_dir)
+        self.escalation_num_beams = escalation_num_beams
+        self.enable_cache = enable_cache
+        self.cache_size = cache_size
+        self.cache_ttl_seconds = cache_ttl_seconds
+        self.request_timeout_seconds = request_timeout_seconds
+        #: Control-plane frames (stats / ping / invalidate / shutdown) answer
+        #: without decoding, so they get their own, generous deadline -- a
+        #: tight data-path timeout must not kill a worker mid-stats-poll.
+        self.control_timeout_seconds = control_timeout_seconds
+        self.spawn_timeout_seconds = spawn_timeout_seconds
+        self.auto_respawn = auto_respawn
+        self.python_executable = python_executable or sys.executable
+        self.max_frame_bytes = max_frame_bytes
+        self.databases: tuple[str, ...] = ()
+        self.respawns = -1  # first _spawn() brings it to 0
+        self.requests_sent = 0
+        self.timeouts = 0
+        self.crashes = 0
+        self._request_id = 0
+        self._lock = threading.Lock()
+        self._process: subprocess.Popen | None = None
+        self._reader: FrameReader | None = None
+        self._writer: FrameWriter | None = None
+        self._closed = False
+        self._spawn()
+
+    # -- lifecycle -------------------------------------------------------------
+    def _command(self) -> list[str]:
+        command = [self.python_executable, "-m", "repro.cluster.procworker",
+                   "--checkpoint", str(self.checkpoint_dir),
+                   "--shard-id", str(self.shard_id),
+                   "--cache-size", str(self.cache_size),
+                   "--max-frame-bytes", str(self.max_frame_bytes)]
+        if self.escalation_num_beams is not None:
+            command += ["--escalation-num-beams", str(self.escalation_num_beams)]
+        if not self.enable_cache:
+            command.append("--no-cache")
+        if self.cache_ttl_seconds is not None:
+            command += ["--cache-ttl-seconds", str(self.cache_ttl_seconds)]
+        return command
+
+    def _spawn(self) -> None:
+        environment = dict(os.environ)
+        source_root = str(_repro_source_root())
+        existing = environment.get("PYTHONPATH")
+        environment["PYTHONPATH"] = source_root if not existing \
+            else os.pathsep.join([source_root, existing])
+        self._process = subprocess.Popen(
+            self._command(), stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            env=environment)
+        self._reader = FrameReader(self._process.stdout,
+                                   max_frame_bytes=self.max_frame_bytes)
+        self._writer = FrameWriter(self._process.stdin,
+                                   max_frame_bytes=self.max_frame_bytes)
+        self.respawns += 1
+        try:
+            hello = self._reader.read(timeout_seconds=self.spawn_timeout_seconds)
+            if hello is None:
+                raise WorkerCrashedError(
+                    f"shard {self.shard_id} worker exited during startup "
+                    f"(code {self._process.poll()})")
+            if hello.get("type") != "hello":
+                raise ProtocolError(f"expected hello, got {hello.get('type')!r}")
+            check_protocol(hello)
+            self.databases = tuple(hello.get("databases", ()))
+            self._writer.write({"type": "hello_ack", "protocol": hello["protocol"]},
+                               timeout_seconds=self.spawn_timeout_seconds)
+        except TransportTimeoutError as error:
+            self._destroy()
+            raise ShardTimeoutError(
+                f"shard {self.shard_id} worker did not complete the handshake "
+                f"within {self.spawn_timeout_seconds}s") from error
+        except Exception:
+            self._destroy()
+            raise
+
+    def _destroy(self) -> None:
+        """Hard-stop the child and release its pipes."""
+        process, self._process = self._process, None
+        reader, self._reader = self._reader, None
+        writer, self._writer = self._writer, None
+        if reader is not None:
+            reader.close()
+        if writer is not None:
+            writer.close()
+        if process is not None:
+            if process.poll() is None:
+                process.kill()
+            try:
+                process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - kill is final
+                pass
+            for pipe in (process.stdin, process.stdout):
+                if pipe is not None:
+                    try:
+                        pipe.close()
+                    except OSError:
+                        pass
+
+    @property
+    def process(self) -> subprocess.Popen | None:
+        return self._process
+
+    @property
+    def pid(self) -> int | None:
+        process = self._process  # snapshot: a timing-out request may _destroy
+        return process.pid if process is not None else None
+
+    def is_alive(self) -> bool:
+        process = self._process  # snapshot: a timing-out request may _destroy
+        return process is not None and process.poll() is None
+
+    def kill(self) -> None:
+        """Hard-kill the child (the crash-injection path used by tests)."""
+        with self._lock:
+            self._destroy()
+
+    def crash(self) -> None:
+        """Chaos hook: make the worker die *mid-request* (it receives a
+        ``crash`` frame and exits without replying), exercising exactly the
+        path a segfaulting or OOM-killed worker would take."""
+        with self._lock:
+            if not self.is_alive():
+                return
+            try:
+                self._request_locked({"type": "crash"}, "pong", 10.0)
+            except (WorkerCrashedError, ShardTimeoutError):
+                pass  # dying without a reply is the point
+
+    def respawn(self) -> None:
+        """Kill (if needed) and boot a fresh process from the checkpoint."""
+        with self._lock:
+            self._destroy()
+            self._spawn()
+
+    def _ensure_alive_locked(self) -> None:
+        if self._closed:
+            raise RuntimeError("the worker proxy has been closed")
+        if self.is_alive():
+            return
+        if not self.auto_respawn:
+            raise WorkerCrashedError(f"shard {self.shard_id} worker is not running")
+        self._destroy()
+        self._spawn()
+
+    # -- request path ----------------------------------------------------------
+    def _request_locked(self, message: dict, expected: str,
+                        timeout_seconds: float | None) -> dict:
+        self._request_id += 1
+        request_id = self._request_id
+        message = dict(message, id=request_id)
+        self.requests_sent += 1
+        try:
+            # The deadline covers both halves: a worker that stops draining
+            # stdin mid-wave times out just like one that never replies.
+            self._writer.write(message, timeout_seconds=timeout_seconds)
+            reply = self._reader.read(timeout_seconds=timeout_seconds)
+        except TransportTimeoutError as error:
+            self.timeouts += 1
+            self._destroy()  # a wedged decode cannot be cancelled politely
+            raise ShardTimeoutError(
+                f"shard {self.shard_id} worker did not answer "
+                f"{message['type']} within {timeout_seconds}s") from error
+        except (BrokenPipeError, OSError) as error:
+            self.crashes += 1
+            self._destroy()
+            raise WorkerCrashedError(
+                f"shard {self.shard_id} worker pipe broke mid-request") from error
+        if reply is None:
+            self.crashes += 1
+            code = self._process.poll() if self._process is not None else None
+            self._destroy()
+            raise WorkerCrashedError(
+                f"shard {self.shard_id} worker died mid-request (exit code {code})")
+        if reply.get("type") == "error":
+            raise WorkerError(f"shard {self.shard_id} worker: "
+                              f"{reply.get('error')}: {reply.get('message')}")
+        if reply.get("type") != expected or reply.get("id") != request_id:
+            self._destroy()  # reply stream out of sync: cannot trust it anymore
+            raise ProtocolError(
+                f"expected {expected} for request {request_id}, got "
+                f"{reply.get('type')!r} for {reply.get('id')!r}")
+        return reply
+
+    def route_batch(self, questions: list[str], max_candidates: int | None = None,
+                    careful: bool = False) -> list[list[SchemaRoute]]:
+        """Route one scatter wave in the worker process."""
+        with self._lock:
+            self._ensure_alive_locked()
+            reply = self._request_locked(
+                {"type": "route_batch_request", "questions": list(questions),
+                 "max_candidates": max_candidates, "careful": careful},
+                "route_response", self.request_timeout_seconds)
+        routes = route_lists_from_payload(reply["routes"])
+        if len(routes) != len(questions):
+            raise ProtocolError(f"worker answered {len(routes)} route lists for "
+                                f"{len(questions)} questions")
+        return routes
+
+    def ping(self, timeout_seconds: float | None = None) -> float:
+        """Heartbeat: round-trip one ``ping`` frame, returning seconds taken."""
+        started = time.monotonic()
+        with self._lock:
+            self._ensure_alive_locked()
+            self._request_locked({"type": "ping"}, "pong",
+                                 timeout_seconds or self.control_timeout_seconds)
+        return time.monotonic() - started
+
+    def notify_catalog_changed(self) -> None:
+        with self._lock:
+            self._ensure_alive_locked()
+            self._request_locked({"type": "invalidate_cache"}, "ok",
+                                 self.control_timeout_seconds)
+
+    def set_databases(self, databases: tuple[str, ...], master) -> None:
+        raise ClusterError(
+            "subprocess shard workers cannot be re-projected live; rebalance "
+            "the cluster checkpoint and respawn the worker instead")
+
+    # -- introspection ---------------------------------------------------------
+    def transport_stats(self) -> dict:
+        return {
+            "backend": "subprocess",
+            "pid": self.pid,
+            "alive": self.is_alive(),
+            "respawns": self.respawns,
+            "requests_sent": self.requests_sent,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+        }
+
+    def _shell_stats(self) -> dict:
+        """What a dead/unreachable worker reports: zeroes + transport truth."""
+        return {"shard_id": self.shard_id, "databases": list(self.databases),
+                "counters": {}, "qps": 0.0, "transport": self.transport_stats()}
+
+    def stats(self) -> dict:
+        """The worker's own service stats plus transport-level accounting.
+
+        A dead worker -- including one that dies *during* the poll -- reports
+        an empty shell (zero counters) instead of respawning or raising:
+        ``stats()`` is the monitoring path, and it must never boot a process
+        as a side effect nor crash the cluster-wide rollup exactly when a
+        shard goes down.
+        """
+        if not self.is_alive():
+            return self._shell_stats()
+        with self._lock:
+            if self._closed or not self.is_alive():
+                return self._shell_stats()
+            try:
+                reply = self._request_locked({"type": "stats_request"},
+                                             "stats_response",
+                                             self.control_timeout_seconds)
+            except ClusterError:  # crashed / timed out / errored mid-poll
+                return self._shell_stats()
+        stats = reply["stats"]
+        stats["transport"] = self.transport_stats()
+        return stats
+
+    # -- shutdown --------------------------------------------------------------
+    def close(self, shutdown_timeout_seconds: float = 10.0) -> None:
+        """Graceful stop: drain, ``shutdown``, wait, then escalate."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._process is None:
+                return
+            if self.is_alive():
+                try:
+                    self._request_locked({"type": "shutdown"}, "shutdown_ack",
+                                         shutdown_timeout_seconds)
+                    self._process.wait(timeout=shutdown_timeout_seconds)
+                except (ClusterError, ProtocolError, subprocess.TimeoutExpired,
+                        OSError):
+                    pass  # fall through to the hard stop
+            self._destroy()
+
+    def __enter__(self) -> "ProcShardWorker":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive() else "dead"
+        return (f"ProcShardWorker(shard_id={self.shard_id}, pid={self.pid}, "
+                f"{state}, checkpoint={str(self.checkpoint_dir)!r})")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(worker_main())

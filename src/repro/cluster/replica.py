@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.core.router import SchemaRoute
-from repro.cluster.dispatcher import ClusterError, call_with_timeout
+from repro.cluster.dispatcher import ClusterError, ShardTimeoutError, call_with_timeout
 from repro.cluster.shard import ShardWorker
 
 
@@ -96,6 +96,7 @@ class ReplicaSet:
         """Route through the first replica that answers; quarantine failures."""
         attempts = self._attempt_order()
         last_error: BaseException | None = None
+        all_timed_out = True
         for position, replica in enumerate(attempts):
             try:
                 result = call_with_timeout(
@@ -106,6 +107,7 @@ class ReplicaSet:
                 )
             except Exception as error:
                 last_error = error
+                all_timed_out = all_timed_out and isinstance(error, ShardTimeoutError)
                 with self._lock:
                     replica.failures += 1
                     replica.quarantined_until = self._clock() + self.quarantine_seconds
@@ -116,7 +118,11 @@ class ReplicaSet:
                 replica.successes += 1
                 replica.quarantined_until = 0.0
             return result
-        raise ClusterError(
+        # Preserve the failure class through the replica layer: when every
+        # replica timed out the dispatcher should count a shard *timeout*
+        # (``shards_timed_out``), not a generic failure.
+        error_class = ShardTimeoutError if all_timed_out else ClusterError
+        raise error_class(
             f"all {len(attempts)} replicas of shard {self.shard_id} failed"
         ) from last_error
 

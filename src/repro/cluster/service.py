@@ -15,6 +15,8 @@ on many cores the thread-pool scatter adds real parallelism on top.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -28,6 +30,9 @@ from repro.cluster.shard import ShardWorker
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.service import ServingConfig
 
+#: Supported shard-worker backends.
+WORKER_BACKENDS = frozenset({"inproc", "subprocess"})
+
 
 @dataclass(frozen=True)
 class ClusterConfig:
@@ -36,6 +41,12 @@ class ClusterConfig:
     num_shards: int = 4
     #: Partition strategy: "round_robin" | "size_balanced" | "joinability".
     strategy: str = "size_balanced"
+    #: Where shard workers live: "inproc" (threads sharing this interpreter)
+    #: or "subprocess" (one ``repro.cluster.procworker`` process per replica,
+    #: driven over the :mod:`repro.cluster.transport` wire protocol, so decode
+    #: runs on separate cores).  Subprocess workers boot from per-shard
+    #: checkpoint directories; ``from_router`` writes one automatically.
+    worker_backend: str = "inproc"
     #: Replicas per shard (1 = no replication).
     replicas: int = 1
     #: Beam budget per shard on the fast tier.  None derives 1 when the
@@ -72,6 +83,9 @@ class ClusterConfig:
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
             raise ValueError("num_shards must be positive")
+        if self.worker_backend not in WORKER_BACKENDS:
+            raise ValueError(f"worker_backend must be one of "
+                             f"{sorted(WORKER_BACKENDS)}, not {self.worker_backend!r}")
         if self.replicas <= 0:
             raise ValueError("replicas must be positive")
         if self.shard_num_beams is not None and self.shard_num_beams <= 0:
@@ -158,16 +172,58 @@ class ClusterRoutingService:
             for replica_set in self._shards:
                 if replica_set.attempt_timeout_seconds is None:
                     replica_set.attempt_timeout_seconds = self.config.shard_timeout_seconds
+        #: A temp checkpoint directory this service wrote for its own
+        #: subprocess workers (removed on close); None when the caller owns it.
+        self._owned_checkpoint_dir: Path | None = None
         self._closed = False
 
     # -- construction --------------------------------------------------------
     @classmethod
     def from_router(cls, master: SchemaRouter, config: ClusterConfig | None = None,
-                    assignment: ShardAssignment | None = None) -> "ClusterRoutingService":
+                    assignment: ShardAssignment | None = None,
+                    checkpoint_dir: str | Path | None = None) -> "ClusterRoutingService":
         """Partition the master router's catalog and project one worker
         (times ``config.replicas``) per shard.  No training happens: every
-        shard shares the master's trained model."""
+        shard shares the master's trained model.
+
+        With ``worker_backend="subprocess"`` the projected cluster is first
+        written to ``checkpoint_dir`` (a temporary directory when omitted,
+        removed again on ``close()``) and then booted from it, because
+        subprocess workers load their shard from disk rather than inheriting
+        in-memory weights.
+        """
         config = config or ClusterConfig()
+        if config.worker_backend == "subprocess":
+            from repro.cluster.checkpoint import load_cluster, save_cluster
+
+            # The bootstrap twin exists only to be checkpointed, and
+            # save_cluster writes one checkpoint per shard regardless of
+            # replication -- so project a single replica per shard instead of
+            # config.replicas throwaway ones.
+            inproc = cls.from_router(master,
+                                     replace(config, worker_backend="inproc",
+                                             replicas=1),
+                                     assignment=assignment)
+            # The manifest should record the caller's intent (subprocess
+            # backend, real replica count), not the bootstrap twin's shape:
+            # a bare load_cluster(path) must reproduce what was built here.
+            inproc.config = config
+            owned_dir: Path | None = None
+            if checkpoint_dir is None:
+                owned_dir = Path(tempfile.mkdtemp(prefix="repro-cluster-"))
+                checkpoint_dir = owned_dir
+            try:
+                save_cluster(inproc, checkpoint_dir)
+                service = load_cluster(checkpoint_dir, config=config)
+            except BaseException:
+                # A failed boot must not leave router weights behind in /tmp.
+                if owned_dir is not None:
+                    shutil.rmtree(owned_dir, ignore_errors=True)
+                raise
+            finally:
+                inproc.close()
+            service._owned_checkpoint_dir = owned_dir
+            return service
         if assignment is None:
             assignment = partition_catalog(master.graph.catalog, config.num_shards,
                                            strategy=config.strategy)
@@ -291,6 +347,7 @@ class ClusterRoutingService:
             shard_stats.append(entry)
         snapshot["num_shards"] = self.num_shards
         snapshot["replicas"] = self._max_replicas
+        snapshot["worker_backend"] = self.config.worker_backend
         snapshot["strategy"] = self.assignment.strategy
         snapshot["assignment"] = [list(databases) for databases in self.assignment.shards]
         snapshot["catalog_version"] = self._catalog_version
@@ -298,6 +355,7 @@ class ClusterRoutingService:
                                       if total_requests else 0.0)
         snapshot["dispatcher"] = {
             "shard_failures": self.dispatcher.shard_failures,
+            "shards_timed_out": self.dispatcher.shards_timed_out,
             "partial_gathers": self.dispatcher.partial_gathers,
             "escalations": self.dispatcher.escalations,
         }
@@ -312,6 +370,9 @@ class ClusterRoutingService:
         self.dispatcher.close()
         for replica_set in self._shards:
             replica_set.close()
+        if self._owned_checkpoint_dir is not None:
+            shutil.rmtree(self._owned_checkpoint_dir, ignore_errors=True)
+            self._owned_checkpoint_dir = None
 
     def __enter__(self) -> "ClusterRoutingService":
         return self

@@ -1,0 +1,341 @@
+"""The cluster wire protocol: length-prefixed, versioned JSON framing.
+
+This is the boundary that lets a shard live in another process (or, later,
+another host): the dispatcher side and the worker side exchange *frames* over
+any pair of byte streams -- a subprocess's stdin/stdout pipes today, a TCP
+socket tomorrow.  A frame is::
+
+    +-------+------+----------------+----------------------+
+    | magic | kind | payload length | payload (JSON bytes) |
+    | 2 B   | 1 B  | 4 B big-endian | length bytes         |
+    +-------+------+----------------+----------------------+
+
+``magic`` (``b"RW"``) guards against a foreign stream, ``kind`` names the
+payload encoding (only JSON today; the byte exists so a binary weight/tensor
+encoding can be added without re-framing), and the length prefix bounds the
+read.  The *protocol version* is not in the header: it is negotiated once per
+connection by the ``hello``/``hello_ack`` handshake, so a version bump costs
+one frame instead of four bytes per message.
+
+Messages are plain dicts with a ``"type"`` key (see :data:`MESSAGE_TYPES`):
+``route_request`` / ``route_batch_request`` -> ``route_response``,
+``stats_request`` -> ``stats_response``, ``ping`` -> ``pong``,
+``invalidate_cache`` -> ``ok``, ``shutdown`` -> ``shutdown_ack``, and
+``error`` for request-scoped failures.  Requests carry a caller-chosen
+``"id"`` that the response echoes.
+
+Route lists cross the wire via :meth:`repro.core.router.SchemaRoute.to_payload`,
+which carries scores as C99 hex floats -- bit-exact across serialization, so
+:func:`repro.core.router.merge_route_lists` ranks identically whether the
+candidates were decoded in-process or round-tripped through a worker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import selectors
+import struct
+import time
+from typing import BinaryIO, Callable
+
+from repro.cluster.dispatcher import ClusterError
+from repro.core.router import SchemaRoute
+
+#: Bump on incompatible message-shape changes; negotiated in the handshake.
+PROTOCOL_VERSION = 1
+
+FRAME_MAGIC = b"RW"
+#: Payload encodings; only JSON for now (the byte reserves room for binary).
+KIND_JSON = 0
+FRAME_HEADER = struct.Struct(">2sBI")
+
+#: Frames larger than this are refused on both sides (a 16 MiB batch of
+#: routes is far beyond any real scatter wave; the cap bounds a corrupt or
+#: hostile length prefix).
+MAX_FRAME_BYTES = 16 << 20
+
+#: Every message type either side may legitimately send.
+MESSAGE_TYPES = frozenset({
+    "hello", "hello_ack",
+    "route_request", "route_batch_request", "route_response",
+    "stats_request", "stats_response",
+    "invalidate_cache", "ok",
+    "ping", "pong",
+    "shutdown", "shutdown_ack",
+    "error",
+    # Test-only: makes the worker die without replying (crash-path testing).
+    "crash",
+})
+
+
+class ProtocolError(ClusterError):
+    """The byte stream does not carry a well-formed protocol frame."""
+
+
+class TruncatedFrameError(ProtocolError):
+    """The stream ended in the middle of a frame header or payload."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame announced a payload above the size cap."""
+
+
+class UnknownMessageError(ProtocolError):
+    """A well-formed frame carried a message type this side does not know."""
+
+
+class VersionMismatchError(ProtocolError):
+    """The two endpoints speak different protocol versions."""
+
+
+class TransportTimeoutError(ClusterError):
+    """The peer did not produce a complete frame within the deadline."""
+
+
+# -- encode --------------------------------------------------------------------
+def encode_frame(message: dict, *, max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one message dict into a framed byte string."""
+    message_type = message.get("type")
+    if message_type not in MESSAGE_TYPES:
+        raise UnknownMessageError(f"cannot encode unknown message type {message_type!r}")
+    payload = json.dumps(message, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(payload) > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"{message_type} payload is {len(payload)} bytes "
+            f"(cap {max_frame_bytes})")
+    return FRAME_HEADER.pack(FRAME_MAGIC, KIND_JSON, len(payload)) + payload
+
+
+def write_frame(stream: BinaryIO, message: dict,
+                *, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+    """Frame ``message`` onto ``stream`` and flush it."""
+    stream.write(encode_frame(message, max_frame_bytes=max_frame_bytes))
+    stream.flush()
+
+
+# -- decode --------------------------------------------------------------------
+def validate_header(header: bytes, max_frame_bytes: int) -> tuple[int, int]:
+    """Unpack + validate a frame header; returns ``(kind, payload length)``.
+
+    The single authority on header well-formedness -- both readers and
+    :func:`decode_payload` go through it, so a protocol change (say, a second
+    payload kind) lands in exactly one place.
+    """
+    magic, kind, length = FRAME_HEADER.unpack(header)
+    if magic != FRAME_MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r} (stream is not the "
+                            "cluster wire protocol)")
+    if kind != KIND_JSON:
+        raise ProtocolError(f"unsupported payload kind {kind}")
+    if length > max_frame_bytes:
+        raise FrameTooLargeError(f"frame announces {length} payload bytes "
+                                 f"(cap {max_frame_bytes})")
+    return kind, length
+
+
+def decode_payload(header: bytes, payload: bytes,
+                   *, max_frame_bytes: int = MAX_FRAME_BYTES) -> dict:
+    """Decode a frame given its full header + payload."""
+    _, length = validate_header(header, max_frame_bytes)
+    if length != len(payload):
+        raise TruncatedFrameError(f"frame announced {length} payload bytes but "
+                                  f"carries {len(payload)}")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame payload is not valid JSON: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    if message.get("type") not in MESSAGE_TYPES:
+        raise UnknownMessageError(f"unknown message type {message.get('type')!r}")
+    return message
+
+
+def read_frame(stream: BinaryIO,
+               *, max_frame_bytes: int = MAX_FRAME_BYTES) -> dict | None:
+    """Read one frame from a blocking ``stream``.
+
+    Returns ``None`` on a clean EOF *at a frame boundary* (the peer closed the
+    connection); raises :class:`TruncatedFrameError` when the stream ends
+    mid-frame.
+    """
+    header = _read_exact(stream, FRAME_HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    _, length = validate_header(header, max_frame_bytes)
+    payload = _read_exact(stream, length, allow_eof=False) if length else b""
+    return decode_payload(header, payload, max_frame_bytes=max_frame_bytes)
+
+
+def _read_exact(stream: BinaryIO, count: int, *, allow_eof: bool) -> bytes | None:
+    data = b""
+    while len(data) < count:
+        chunk = stream.read(count - len(data))
+        if not chunk:
+            if allow_eof and not data:
+                return None
+            raise TruncatedFrameError(
+                f"stream ended after {len(data)} of {count} expected bytes")
+        data += chunk
+    return data
+
+
+class FrameReader:
+    """Deadline-capable frame reader over a readable file descriptor.
+
+    The dispatcher side reads worker replies through this: the fd is switched
+    to non-blocking and each read waits on a selector, so a per-request
+    timeout can fire even while a frame is partially received -- without
+    abandoning a thread stuck in a blocking ``read()``.  (The worker side
+    keeps the simple blocking :func:`read_frame`; it has nothing better to do
+    than wait for its dispatcher.)
+    """
+
+    def __init__(self, stream: BinaryIO, *, max_frame_bytes: int = MAX_FRAME_BYTES,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self._fd = stream.fileno()
+        self._max_frame_bytes = max_frame_bytes
+        self._clock = clock
+        self._buffer = b""
+        self._eof = False
+        os.set_blocking(self._fd, False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._fd, selectors.EVENT_READ)
+
+    def read(self, timeout_seconds: float | None = None) -> dict | None:
+        """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+        Raises :class:`TransportTimeoutError` when a complete frame has not
+        arrived within ``timeout_seconds`` (the partial bytes stay buffered,
+        but callers are expected to kill the peer after a timeout).
+        """
+        deadline = None if timeout_seconds is None else self._clock() + timeout_seconds
+        header = self._take(FRAME_HEADER.size, deadline, allow_eof=True)
+        if header is None:
+            return None
+        _, length = validate_header(header, self._max_frame_bytes)
+        payload = self._take(length, deadline, allow_eof=False) if length else b""
+        return decode_payload(header, payload, max_frame_bytes=self._max_frame_bytes)
+
+    def _take(self, count: int, deadline: float | None,
+              *, allow_eof: bool) -> bytes | None:
+        while len(self._buffer) < count:
+            if self._eof:
+                if allow_eof and not self._buffer:
+                    return None
+                raise TruncatedFrameError(
+                    f"stream ended after {len(self._buffer)} of {count} expected bytes")
+            if deadline is not None:
+                remaining = deadline - self._clock()
+                if remaining <= 0 or not self._selector.select(remaining):
+                    raise TransportTimeoutError(
+                        f"no complete frame within the deadline "
+                        f"({len(self._buffer)} of {count} bytes buffered)")
+            else:
+                self._selector.select()
+            try:
+                chunk = os.read(self._fd, 1 << 16)
+            except BlockingIOError:  # spurious wakeup
+                continue
+            except OSError as error:
+                raise TruncatedFrameError(f"read failed: {error}") from error
+            if not chunk:
+                self._eof = True
+                continue
+            self._buffer += chunk
+        data, self._buffer = self._buffer[:count], self._buffer[count:]
+        return data
+
+    def close(self) -> None:
+        try:
+            self._selector.unregister(self._fd)
+        except (KeyError, ValueError):
+            pass
+        self._selector.close()
+
+
+class FrameWriter:
+    """Deadline-capable frame writer over a writable file descriptor.
+
+    The dispatcher side sends requests through this: a worker that stops
+    draining its stdin (SIGSTOP, swap-death) while a scatter wave larger than
+    the OS pipe buffer is in flight would otherwise block ``write()`` forever
+    *while holding the proxy's request lock*, wedging ``kill()``/``close()``
+    with it.  The fd is switched to non-blocking and each chunk waits on a
+    selector, so the per-request deadline covers the write half too.
+    """
+
+    def __init__(self, stream: BinaryIO, *, max_frame_bytes: int = MAX_FRAME_BYTES,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self._fd = stream.fileno()
+        self._max_frame_bytes = max_frame_bytes
+        self._clock = clock
+        os.set_blocking(self._fd, False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._fd, selectors.EVENT_WRITE)
+
+    def write(self, message: dict, timeout_seconds: float | None = None) -> None:
+        """Frame ``message`` onto the fd, raising
+        :class:`TransportTimeoutError` when the peer does not drain it within
+        ``timeout_seconds`` (the frame may then be half-sent -- callers are
+        expected to kill the peer after a timeout)."""
+        data = encode_frame(message, max_frame_bytes=self._max_frame_bytes)
+        deadline = None if timeout_seconds is None else self._clock() + timeout_seconds
+        while data:
+            if deadline is not None:
+                remaining = deadline - self._clock()
+                if remaining <= 0 or not self._selector.select(remaining):
+                    raise TransportTimeoutError(
+                        f"peer did not drain the frame within the deadline "
+                        f"({len(data)} bytes unsent)")
+            else:
+                self._selector.select()
+            try:
+                sent = os.write(self._fd, data)
+            except BlockingIOError:  # spurious wakeup
+                continue
+            data = data[sent:]
+
+    def close(self) -> None:
+        try:
+            self._selector.unregister(self._fd)
+        except (KeyError, ValueError):
+            pass
+        self._selector.close()
+
+
+# -- handshake -----------------------------------------------------------------
+def hello_message(shard_id: int, databases: tuple[str, ...] | list[str],
+                  pid: int) -> dict:
+    """The worker's opening frame: who it is and what it speaks."""
+    return {"type": "hello", "protocol": PROTOCOL_VERSION, "shard_id": shard_id,
+            "databases": list(databases), "pid": pid}
+
+
+def check_protocol(message: dict) -> None:
+    """Validate the negotiated version of a ``hello`` / ``hello_ack``."""
+    spoken = message.get("protocol")
+    if spoken != PROTOCOL_VERSION:
+        raise VersionMismatchError(
+            f"peer speaks protocol {spoken!r}, this side speaks {PROTOCOL_VERSION}")
+
+
+# -- route payloads ------------------------------------------------------------
+def route_lists_to_payload(route_lists: list[list[SchemaRoute]]) -> list[list[dict]]:
+    """Per-question route lists -> JSON-safe payload (bit-exact scores)."""
+    return [[route.to_payload() for route in routes] for routes in route_lists]
+
+
+def route_lists_from_payload(payload: list[list[dict]]) -> list[list[SchemaRoute]]:
+    try:
+        return [[SchemaRoute.from_payload(entry) for entry in routes]
+                for routes in payload]
+    except (KeyError, TypeError, ValueError) as error:
+        raise ProtocolError(f"malformed route payload: {error}") from error
+
+
+def error_message(request_id: object, error: BaseException) -> dict:
+    """An error frame answering the request ``request_id``."""
+    return {"type": "error", "id": request_id,
+            "error": type(error).__name__, "message": str(error)}

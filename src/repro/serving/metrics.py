@@ -113,9 +113,13 @@ class MetricsRegistry:
         """Completed requests per second over the registry's lifetime."""
         return self.counter("requests") / self.uptime_seconds()
 
-    def batch_size_histogram(self) -> dict[int, int]:
+    def batch_size_histogram(self) -> dict[str, int]:
+        """Batch-size -> count, with *string* keys: the same shape
+        :meth:`snapshot` publishes (and the wire protocol carries), so the
+        two views of the histogram always compare equal."""
         with self._lock:
-            return dict(sorted(self._batch_sizes.items()))
+            return {str(size): count
+                    for size, count in sorted(self._batch_sizes.items())}
 
     def mean_batch_size(self) -> float:
         with self._lock:
@@ -127,12 +131,19 @@ class MetricsRegistry:
         """A consistent snapshot: counters and batch accounting are read under
         one lock acquisition (latency has its own lock and snapshots itself in
         :meth:`LatencyRecorder.summary`), so QPS, counters, and the histogram
-        all describe the same instant."""
+        all describe the same instant.
+
+        The snapshot is part of the cluster wire protocol (subprocess shard
+        workers answer ``stats_request`` with it), so it must survive a JSON
+        round-trip *unchanged*: histogram keys are strings, because JSON would
+        silently stringify integer keys and a local snapshot would no longer
+        equal a remote one."""
         uptime = self.uptime_seconds()
         with self._lock:
             counters = dict(self._counters)
-            histogram = dict(sorted(self._batch_sizes.items()))
-        batch_total = sum(size * count for size, count in histogram.items())
+            histogram = {str(size): count
+                         for size, count in sorted(self._batch_sizes.items())}
+        batch_total = sum(int(size) * count for size, count in histogram.items())
         batches = sum(histogram.values())
         return {
             "uptime_seconds": round(uptime, 3),

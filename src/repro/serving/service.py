@@ -182,7 +182,13 @@ class RoutingService:
 
     # -- introspection -------------------------------------------------------
     def stats(self) -> dict:
+        """A JSON-round-trip-safe snapshot (it may cross the cluster wire
+        protocol verbatim): counters, QPS, latency percentiles, cache and
+        batcher accounting, plus the size of the catalog slice this service
+        decodes over -- which is what identifies a shard worker when the
+        snapshot is read far from the process that produced it."""
         snapshot = self.metrics.snapshot()
+        snapshot["num_databases"] = len(self.router.graph.catalog.database_names)
         snapshot["cache"] = self.cache.stats() if self.cache is not None else None
         requests = snapshot["counters"].get("requests", 0)
         hits = snapshot["counters"].get("cache_hits", 0)

@@ -281,6 +281,25 @@ class TestDispatcher:
             with pytest.raises(ClusterError):
                 dispatcher.route_batch(["q"])
 
+    def test_partial_gather_counts_dropped_timeouts(self):
+        """A timed-out shard silently dropped from a partial gather must be
+        visible in ``shards_timed_out`` (distinct from crash failures)."""
+        def slow(questions, max_candidates):
+            time.sleep(0.5)
+            return [[] for _ in questions]
+
+        def broken(questions, max_candidates):
+            raise RuntimeError("shard down")
+
+        with ClusterDispatcher([self._fake_target("alpha", -1.0), slow, broken],
+                               shard_timeout_seconds=0.05,
+                               allow_partial=True) as dispatcher:
+            merged = dispatcher.route_batch(["q"])
+            assert _signature(merged[0]) == [("alpha", ("t",))]
+            assert dispatcher.shard_failures == 2   # slow + broken
+            assert dispatcher.shards_timed_out == 1  # only slow was a timeout
+            assert dispatcher.partial_gathers == 1
+
     def test_cascade_escalates_only_low_confidence_questions(self):
         # Fast tier: near-tie for "ambiguous", clear winner for "easy".
         def fast(questions, max_candidates):
@@ -384,6 +403,29 @@ class TestReplicaSet:
         with pytest.raises(ValueError):
             ReplicaSet(0, [])
 
+    def test_timeout_classification_survives_the_replica_layer(self):
+        """All replicas timing out must surface as ShardTimeoutError (so the
+        dispatcher counts a shard *timeout*); a mix of crash + timeout is a
+        plain ClusterError."""
+        class Sleepy:
+            def route_batch(self, questions, max_candidates=None, careful=False):
+                time.sleep(0.5)
+                return [[] for _ in questions]
+
+        class Broken:
+            def route_batch(self, questions, max_candidates=None, careful=False):
+                raise RuntimeError("shard down")
+
+        all_slow = ReplicaSet(0, [Sleepy(), Sleepy()], quarantine_seconds=60.0,
+                              attempt_timeout_seconds=0.05)
+        with pytest.raises(ShardTimeoutError):
+            all_slow.route_batch(["q"])
+        mixed = ReplicaSet(0, [Sleepy(), Broken()], quarantine_seconds=60.0,
+                           attempt_timeout_seconds=0.05)
+        with pytest.raises(ClusterError) as outcome:
+            mixed.route_batch(["q"])
+        assert not isinstance(outcome.value, ShardTimeoutError)
+
 
 # -- the cluster service -------------------------------------------------------
 class TestClusterRoutingService:
@@ -449,6 +491,19 @@ class TestClusterRoutingService:
 
     def test_max_candidates_bounds_the_merged_answer(self, cluster):
         assert len(cluster.submit(QUESTIONS[0], max_candidates=1)) == 1
+
+    def test_stats_expose_backend_and_timeout_accounting(self, cluster):
+        cluster.submit_many(QUESTIONS[:2])
+        stats = cluster.stats()
+        assert stats["worker_backend"] == "inproc"
+        dispatcher = stats["dispatcher"]
+        # shards_timed_out breaks the "partial gathers drop timeouts silently"
+        # blind spot: the counter exists even when everything is healthy.
+        assert dispatcher["shards_timed_out"] == 0
+        assert dispatcher["shard_failures"] == 0
+        assert set(dispatcher) == {"shard_failures", "shards_timed_out",
+                                   "partial_gathers", "escalations"}
+        json.dumps(stats)  # the whole rollup stays JSON-serializable
 
     def test_escalation_tier_is_wired_and_counted(self, master_router, cluster):
         assert all(worker.careful_service is not None

@@ -1,0 +1,339 @@
+"""Multi-process shard workers: spawn, serve, crash, respawn, agree.
+
+Uses a real 2-shard cluster checkpoint (trained once per module) so the
+subprocess workers boot exactly the artifact production would hand them.  The
+core contracts:
+
+* a subprocess worker answers **bit-identically** to an in-process worker
+  booted from the same shard checkpoint (scores cross the wire as hex floats);
+* the whole subprocess-backed cluster matches the inproc-backed cluster on a
+  seeded workload (the >= 95%% acceptance bar -- deterministic decode actually
+  makes it 100%%);
+* a worker killed mid-batch is survived: the replica layer fails over, the
+  proxy respawns the process from its checkpoint, and no request fails;
+* a request that outlives its timeout kills the wedged process and surfaces
+  as :class:`ShardTimeoutError`, counted in ``shards_timed_out``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from test_cluster import QUESTIONS, _cluster_catalog
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterRoutingService,
+    ProcShardWorker,
+    ShardTimeoutError,
+    ShardWorker,
+    WorkerCrashedError,
+    load_cluster,
+    save_cluster,
+)
+from repro.cluster.procworker import serve
+from repro.cluster.transport import (
+    PROTOCOL_VERSION,
+    check_protocol,
+    read_frame,
+    write_frame,
+)
+from repro.core import (
+    RouterConfig,
+    SchemaGraph,
+    SchemaRouter,
+    SchemaSampler,
+    SynthesisConfig,
+    TemplateQuestioner,
+    synthesize_training_data,
+)
+from repro.serving.service import ServingConfig
+
+
+@pytest.fixture(scope="module")
+def master_router() -> SchemaRouter:
+    catalog = _cluster_catalog()
+    graph = SchemaGraph.from_catalog(catalog)
+    questioner = TemplateQuestioner(catalog=catalog, seed=23)
+    sampler = SchemaSampler(graph, seed=23)
+    report = synthesize_training_data(sampler, questioner,
+                                      SynthesisConfig(num_samples=300))
+    router = SchemaRouter(graph=graph, config=RouterConfig(
+        epochs=10, embedding_dim=24, hidden_dim=40, num_beams=8, beam_groups=4,
+        seed=23))
+    router.fit(report.examples)
+    return router
+
+
+@pytest.fixture(scope="module")
+def cluster_checkpoint(master_router, tmp_path_factory):
+    """A saved 2-shard cluster both backends boot from."""
+    built = ClusterRoutingService.from_router(
+        master_router, ClusterConfig(num_shards=2, strategy="size_balanced"))
+    path = save_cluster(built, tmp_path_factory.mktemp("procworker") / "cluster-ckpt")
+    built.close()
+    return path
+
+
+def _shard_dir(cluster_checkpoint, shard_id: int = 0):
+    return cluster_checkpoint / f"shard-{shard_id:02d}"
+
+
+def _signature(route_lists):
+    return [[(route.database, route.tables, route.score) for route in routes]
+            for routes in route_lists]
+
+
+# -- one worker over the wire --------------------------------------------------
+class TestProcShardWorker:
+    def test_handshake_announces_the_shard(self, cluster_checkpoint):
+        with ProcShardWorker(0, _shard_dir(cluster_checkpoint)) as worker:
+            assert worker.is_alive()
+            assert worker.pid is not None and worker.pid != os.getpid()
+            assert len(worker.databases) > 0
+            local = ShardWorker.from_checkpoint(
+                0, _shard_dir(cluster_checkpoint),
+                serving_config=ServingConfig(enable_batching=False))
+            assert set(worker.databases) == set(local.databases)
+            local.close()
+
+    def test_routes_bit_identical_to_inproc_worker(self, cluster_checkpoint):
+        local = ShardWorker.from_checkpoint(
+            0, _shard_dir(cluster_checkpoint),
+            serving_config=ServingConfig(enable_batching=False),
+            escalation_num_beams=4)
+        with ProcShardWorker(0, _shard_dir(cluster_checkpoint),
+                             escalation_num_beams=4) as worker:
+            questions = list(QUESTIONS)
+            assert _signature(worker.route_batch(questions, max_candidates=3)) \
+                == _signature(local.route_batch(questions, max_candidates=3))
+            # The careful (escalation) tier crosses the wire too.
+            assert _signature(worker.route_batch(questions, careful=True)) \
+                == _signature(local.route_batch(questions, careful=True))
+        local.close()
+
+    def test_ping_stats_and_cache_invalidation(self, cluster_checkpoint):
+        with ProcShardWorker(0, _shard_dir(cluster_checkpoint)) as worker:
+            assert worker.ping() < 30.0
+            worker.route_batch(list(QUESTIONS[:2]))
+            worker.route_batch(list(QUESTIONS[:2]))  # second wave hits the cache
+            stats = worker.stats()
+            assert stats["shard_id"] == 0
+            assert stats["counters"]["requests"] >= 4
+            assert stats["counters"]["cache_hits"] >= 2
+            assert stats["transport"]["alive"] is True
+            assert stats["transport"]["backend"] == "subprocess"
+            worker.notify_catalog_changed()  # must not raise; empties the cache
+            worker.route_batch(list(QUESTIONS[:2]))
+            assert worker.stats()["cache"]["size"] >= 1
+
+    def test_graceful_close_stops_the_process(self, cluster_checkpoint):
+        worker = ProcShardWorker(0, _shard_dir(cluster_checkpoint))
+        process = worker.process
+        worker.close()
+        assert process.poll() is not None  # actually exited, not just orphaned
+        assert not worker.is_alive()
+        with pytest.raises(RuntimeError):
+            worker.route_batch(["anything"])
+
+    def test_crash_mid_request_raises_and_respawn_recovers(self, cluster_checkpoint):
+        with ProcShardWorker(0, _shard_dir(cluster_checkpoint)) as worker:
+            first_pid = worker.pid
+            baseline = worker.route_batch(list(QUESTIONS[:2]))
+            worker.crash()
+            assert not worker.is_alive()
+            assert worker.crashes == 1
+            # auto-respawn: the next request boots a fresh process from the
+            # same checkpoint and answers identically.
+            again = worker.route_batch(list(QUESTIONS[:2]))
+            assert worker.is_alive()
+            assert worker.pid != first_pid
+            assert worker.respawns == 1
+            assert _signature(again) == _signature(baseline)
+
+    def test_crash_without_auto_respawn_surfaces(self, cluster_checkpoint):
+        with ProcShardWorker(0, _shard_dir(cluster_checkpoint),
+                             auto_respawn=False) as worker:
+            worker.crash()
+            with pytest.raises(WorkerCrashedError):
+                worker.route_batch(list(QUESTIONS[:1]))
+
+    def test_request_timeout_kills_the_wedged_process(self, cluster_checkpoint):
+        with ProcShardWorker(0, _shard_dir(cluster_checkpoint),
+                             request_timeout_seconds=0.001) as worker:
+            victim = worker.process
+            with pytest.raises(ShardTimeoutError):
+                worker.route_batch(list(QUESTIONS))
+            assert worker.timeouts == 1
+            assert victim.poll() is not None  # a wedged worker is killed
+            # Relaxing the deadline and retrying respawns and succeeds.
+            worker.request_timeout_seconds = None
+            assert len(worker.route_batch(list(QUESTIONS[:1]))) == 1
+
+    def test_missing_checkpoint_fails_spawn(self, tmp_path):
+        with pytest.raises(WorkerCrashedError):
+            ProcShardWorker(0, tmp_path / "no-such-checkpoint",
+                            spawn_timeout_seconds=30.0)
+
+    def test_set_databases_is_refused_over_the_wire(self, cluster_checkpoint,
+                                                    master_router):
+        with ProcShardWorker(0, _shard_dir(cluster_checkpoint)) as worker:
+            with pytest.raises(Exception, match="re-projected"):
+                worker.set_databases(("world_atlas",), master_router)
+
+
+# -- the serve loop, driven in-process ----------------------------------------
+class TestServeLoop:
+    def _pipes(self):
+        to_worker_read, to_worker_write = os.pipe()
+        from_worker_read, from_worker_write = os.pipe()
+        return (os.fdopen(to_worker_read, "rb", buffering=0),
+                os.fdopen(to_worker_write, "wb", buffering=0),
+                os.fdopen(from_worker_read, "rb", buffering=0),
+                os.fdopen(from_worker_write, "wb", buffering=0))
+
+    def _start(self, cluster_checkpoint):
+        worker = ShardWorker.from_checkpoint(
+            0, _shard_dir(cluster_checkpoint),
+            serving_config=ServingConfig(enable_batching=False))
+        worker_in, to_worker, from_worker, worker_out = self._pipes()
+        thread = threading.Thread(target=serve, args=(worker, worker_in, worker_out),
+                                  daemon=True)
+        thread.start()
+        hello = read_frame(from_worker)
+        assert hello["type"] == "hello"
+        check_protocol(hello)
+        write_frame(to_worker, {"type": "hello_ack", "protocol": PROTOCOL_VERSION})
+        return worker, thread, to_worker, from_worker
+
+    def test_request_scoped_errors_keep_the_worker_serving(self, cluster_checkpoint):
+        worker, thread, to_worker, from_worker = self._start(cluster_checkpoint)
+        try:
+            # "pong" is a valid frame but not something a worker handles: the
+            # reply is an error frame, not a dead worker.
+            write_frame(to_worker, {"type": "pong", "id": 1})
+            reply = read_frame(from_worker)
+            assert reply["type"] == "error" and reply["id"] == 1
+            # a malformed batch (questions not a list) is request-scoped too
+            write_frame(to_worker, {"type": "route_batch_request", "id": 2,
+                                    "questions": None})
+            assert read_frame(from_worker)["type"] == "error"
+            # ...and the worker still answers real requests afterwards
+            write_frame(to_worker, {"type": "route_batch_request", "id": 3,
+                                    "questions": [QUESTIONS[0]]})
+            reply = read_frame(from_worker)
+            assert reply["type"] == "route_response" and reply["id"] == 3
+            assert len(reply["routes"]) == 1
+        finally:
+            write_frame(to_worker, {"type": "shutdown", "id": 99})
+            assert read_frame(from_worker)["type"] == "shutdown_ack"
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+            worker.close()
+
+    def test_closing_the_pipe_shuts_the_worker_down(self, cluster_checkpoint):
+        worker, thread, to_worker, from_worker = self._start(cluster_checkpoint)
+        to_worker.close()  # dispatcher vanishes; EOF is treated as shutdown
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert read_frame(from_worker) is None
+        worker.close()
+
+
+# -- the whole cluster over subprocesses ---------------------------------------
+class TestSubprocessCluster:
+    def test_backend_agreement_on_seeded_workload(self, cluster_checkpoint):
+        """Acceptance bar: >= 95% top-1 agreement between backends on a
+        seeded 200-question workload (deterministic decode makes it exact)."""
+        from repro.serving import LoadGenerator, WorkloadConfig
+
+        inproc = load_cluster(cluster_checkpoint)
+        sub = load_cluster(cluster_checkpoint,
+                           config=ClusterConfig(worker_backend="subprocess"))
+        try:
+            workload = LoadGenerator(list(QUESTIONS), WorkloadConfig(
+                num_requests=200, distribution="zipf", skew=1.0, seed=29)).workload()
+            distinct = list(dict.fromkeys(workload))
+            inproc_answers = dict(zip(distinct, inproc.submit_many(distinct,
+                                                                   max_candidates=1)))
+            sub_answers = dict(zip(distinct, sub.submit_many(distinct,
+                                                             max_candidates=1)))
+            agreements = sum(
+                1 for question in workload
+                if inproc_answers[question] and sub_answers[question]
+                and inproc_answers[question][0].database
+                == sub_answers[question][0].database
+            )
+            assert agreements / len(workload) >= 0.95
+            # Scores travel as hex floats, so the match is in fact bit-exact.
+            assert {q: _signature([r]) for q, r in sub_answers.items()} \
+                == {q: _signature([r]) for q, r in inproc_answers.items()}
+            stats = sub.stats()
+            assert stats["worker_backend"] == "subprocess"
+            assert stats["dispatcher"]["shard_failures"] == 0
+            transports = [worker["transport"]
+                          for shard in stats["shards"] for worker in shard["workers"]]
+            assert all(t["alive"] for t in transports)
+            assert len({t["pid"] for t in transports}) == len(transports)
+        finally:
+            inproc.close()
+            sub.close()
+
+    def test_worker_killed_mid_batch_fails_over_and_respawns(self, cluster_checkpoint):
+        """The crash-respawn acceptance path: kill one worker mid-batch; the
+        replica set fails over (no failed requests), and the killed worker is
+        respawned from its checkpoint on the next attempt."""
+        sub = load_cluster(cluster_checkpoint, config=ClusterConfig(
+            worker_backend="subprocess", replicas=2, quarantine_seconds=0.0))
+        try:
+            baseline = sub.submit_many(list(QUESTIONS))
+            victim = sub.shards[0].workers[0]
+            victim.crash()  # dies mid-request, like an OOM kill would
+            assert not victim.is_alive()
+            survived = sub.submit_many(list(QUESTIONS))
+            assert _signature(survived) == _signature(baseline)  # nothing failed
+            # quarantine_seconds=0 means the crashed replica is retried on a
+            # later wave, which transparently respawns it.
+            for _ in range(3):
+                sub.submit_many(list(QUESTIONS[:2]))
+            assert victim.is_alive()
+            assert victim.respawns >= 1
+            assert sub.stats()["dispatcher"]["shard_failures"] == 0
+        finally:
+            sub.close()
+
+    def test_from_router_builds_and_owns_a_temp_checkpoint(self, master_router):
+        service = ClusterRoutingService.from_router(
+            master_router, ClusterConfig(num_shards=2, worker_backend="subprocess"))
+        owned = service._owned_checkpoint_dir
+        try:
+            assert owned is not None and owned.is_dir()
+            routes = service.submit(QUESTIONS[0], max_candidates=2)
+            assert routes and routes[0].database
+        finally:
+            service.close()
+        assert not owned.exists()  # the temp checkpoint is cleaned up
+
+    def test_shard_timeouts_are_counted(self, cluster_checkpoint):
+        from repro.cluster import ClusterError
+
+        sub = load_cluster(cluster_checkpoint, config=ClusterConfig(
+            worker_backend="subprocess", allow_partial=True,
+            shard_timeout_seconds=0.001))
+        try:
+            # With a 1 ms decode budget, anything from "one shard dropped" to
+            # "every shard dropped" can happen; either way the misses must be
+            # *counted as timeouts*, never silently folded into the gather.
+            try:
+                sub.submit_many(list(QUESTIONS))
+            except ClusterError:
+                pass  # every shard missed the budget: the request itself fails
+            stats = sub.stats()
+            assert stats["dispatcher"]["shards_timed_out"] >= 1
+            assert stats["dispatcher"]["shards_timed_out"] \
+                <= stats["dispatcher"]["shard_failures"]
+        finally:
+            sub.close()

@@ -339,7 +339,9 @@ class TestMetrics:
         registry.observe_latency(0.002)
         snapshot = registry.snapshot()
         assert snapshot["counters"]["requests"] == 10
-        assert snapshot["batch_size_histogram"] == {2: 1, 4: 2}
+        # String keys: the snapshot crosses the cluster wire protocol as JSON
+        # and must be identical before and after the round-trip.
+        assert snapshot["batch_size_histogram"] == {"2": 1, "4": 2}
         assert snapshot["mean_batch_size"] == pytest.approx(10 / 3, rel=1e-2)
         assert snapshot["qps"] > 0
 
@@ -448,7 +450,8 @@ class TestRoutingService:
                 expected = trained_router.route(QUESTIONS[index % len(QUESTIONS)])
                 assert _route_signature(routes) == _route_signature(expected)
             histogram = service.stats()["batch_size_histogram"]
-            assert max(histogram) > 1  # at least one multi-request batch formed
+            # at least one multi-request batch formed
+            assert max(int(size) for size in histogram) > 1
 
 
 # -- load generation -----------------------------------------------------------

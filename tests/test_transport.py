@@ -1,0 +1,381 @@
+"""Wire-protocol tests: framing round-trips, malformed streams, deadlines.
+
+The protocol is the trust boundary between the dispatcher and its subprocess
+workers, so the tests lean adversarial: every way a stream can lie about
+itself (truncated, oversized, foreign, unknown types, wrong version) must map
+to a *specific* exception, and everything that round-trips must round-trip
+bit-exactly -- scores included, because the cross-shard merge ranks on them.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.cluster.transport import (
+    FRAME_HEADER,
+    FRAME_MAGIC,
+    MAX_FRAME_BYTES,
+    MESSAGE_TYPES,
+    PROTOCOL_VERSION,
+    FrameReader,
+    FrameTooLargeError,
+    FrameWriter,
+    ProtocolError,
+    TransportTimeoutError,
+    TruncatedFrameError,
+    UnknownMessageError,
+    VersionMismatchError,
+    check_protocol,
+    encode_frame,
+    error_message,
+    hello_message,
+    read_frame,
+    route_lists_from_payload,
+    route_lists_to_payload,
+    write_frame,
+)
+from repro.core.router import SchemaRoute, merge_route_lists
+
+
+def _frame_of(message: dict) -> bytes:
+    return encode_frame(message)
+
+
+def _read_back(data: bytes):
+    return read_frame(io.BytesIO(data))
+
+
+# -- round trips ---------------------------------------------------------------
+class TestFraming:
+    SAMPLE_MESSAGES = [
+        {"type": "hello", "protocol": 1, "shard_id": 3, "databases": ["a", "b"],
+         "pid": 42},
+        {"type": "hello_ack", "protocol": 1},
+        {"type": "route_request", "id": 1, "question": "how many singers",
+         "max_candidates": 3, "careful": False},
+        {"type": "route_batch_request", "id": 2, "questions": ["q1", "q2"],
+         "max_candidates": None, "careful": True},
+        {"type": "route_response", "id": 2, "routes": [[], []]},
+        {"type": "stats_request", "id": 3},
+        {"type": "stats_response", "id": 3, "stats": {"counters": {"requests": 7}}},
+        {"type": "invalidate_cache", "id": 4},
+        {"type": "ok", "id": 4},
+        {"type": "ping", "id": 5},
+        {"type": "pong", "id": 5, "pid": 42},
+        {"type": "shutdown", "id": 6},
+        {"type": "shutdown_ack", "id": 6},
+        {"type": "error", "id": 7, "error": "ValueError", "message": "boom"},
+    ]
+
+    @pytest.mark.parametrize("message", SAMPLE_MESSAGES,
+                             ids=[m["type"] for m in SAMPLE_MESSAGES])
+    def test_every_message_type_round_trips(self, message):
+        assert _read_back(_frame_of(message)) == message
+
+    def test_frames_concatenate_cleanly(self):
+        stream = io.BytesIO(_frame_of({"type": "ping", "id": 1})
+                            + _frame_of({"type": "pong", "id": 1}))
+        assert read_frame(stream)["type"] == "ping"
+        assert read_frame(stream)["type"] == "pong"
+        assert read_frame(stream) is None  # clean EOF at a frame boundary
+
+    def test_write_frame_flushes_the_stream(self):
+        class Recorder(io.BytesIO):
+            flushed = False
+
+            def flush(self):
+                self.flushed = True
+                return super().flush()
+
+        stream = Recorder()
+        write_frame(stream, {"type": "ping", "id": 9})
+        assert stream.flushed
+        assert _read_back(stream.getvalue()) == {"type": "ping", "id": 9}
+
+    def test_empty_stream_is_clean_eof(self):
+        assert _read_back(b"") is None
+
+
+# -- malformed streams ---------------------------------------------------------
+class TestMalformedStreams:
+    def test_truncated_header_raises(self):
+        frame = _frame_of({"type": "ping", "id": 1})
+        for cut in range(1, FRAME_HEADER.size):
+            with pytest.raises(TruncatedFrameError):
+                _read_back(frame[:cut])
+
+    def test_truncated_payload_raises(self):
+        frame = _frame_of({"type": "ping", "id": 1})
+        for cut in range(FRAME_HEADER.size, len(frame)):
+            with pytest.raises(TruncatedFrameError):
+                _read_back(frame[:cut])
+
+    def test_oversized_frame_refused_on_read(self):
+        header = FRAME_HEADER.pack(FRAME_MAGIC, 0, MAX_FRAME_BYTES + 1)
+        with pytest.raises(FrameTooLargeError):
+            _read_back(header + b"x" * 16)
+
+    def test_oversized_payload_refused_on_encode(self):
+        with pytest.raises(FrameTooLargeError):
+            encode_frame({"type": "ping", "blob": "x" * 64}, max_frame_bytes=32)
+
+    def test_small_read_cap_rejects_big_but_valid_frames(self):
+        frame = _frame_of({"type": "ping", "payload": "y" * 128})
+        with pytest.raises(FrameTooLargeError):
+            read_frame(io.BytesIO(frame), max_frame_bytes=64)
+
+    def test_foreign_magic_raises(self):
+        frame = bytearray(_frame_of({"type": "ping", "id": 1}))
+        frame[0:2] = b"GE"  # an HTTP GET is not our protocol
+        with pytest.raises(ProtocolError):
+            _read_back(bytes(frame))
+
+    def test_unknown_payload_kind_raises(self):
+        payload = json.dumps({"type": "ping"}).encode()
+        frame = FRAME_HEADER.pack(FRAME_MAGIC, 9, len(payload)) + payload
+        with pytest.raises(ProtocolError):
+            _read_back(frame)
+
+    def test_non_json_payload_raises(self):
+        payload = b"\xff\xfe not json"
+        frame = FRAME_HEADER.pack(FRAME_MAGIC, 0, len(payload)) + payload
+        with pytest.raises(ProtocolError):
+            _read_back(frame)
+
+    def test_non_object_payload_raises(self):
+        payload = json.dumps(["route_request"]).encode()
+        frame = FRAME_HEADER.pack(FRAME_MAGIC, 0, len(payload)) + payload
+        with pytest.raises(ProtocolError):
+            _read_back(frame)
+
+    def test_unknown_message_type_raises_on_read(self):
+        payload = json.dumps({"type": "route_batch_request_v99"}).encode()
+        frame = FRAME_HEADER.pack(FRAME_MAGIC, 0, len(payload)) + payload
+        with pytest.raises(UnknownMessageError):
+            _read_back(frame)
+
+    def test_unknown_message_type_refused_on_encode(self):
+        with pytest.raises(UnknownMessageError):
+            encode_frame({"type": "teleport"})
+
+    def test_every_prefix_of_every_sample_fails_loudly_or_cleanly(self):
+        """Property: any prefix of a valid frame either reads as clean EOF
+        (empty), raises a protocol error, or is the complete frame."""
+        for message in TestFraming.SAMPLE_MESSAGES:
+            frame = _frame_of(message)
+            for cut in range(len(frame) + 1):
+                prefix = frame[:cut]
+                if cut == 0:
+                    assert _read_back(prefix) is None
+                elif cut < len(frame):
+                    with pytest.raises(ProtocolError):
+                        _read_back(prefix)
+                else:
+                    assert _read_back(prefix) == message
+
+
+# -- version handshake ---------------------------------------------------------
+class TestHandshake:
+    def test_hello_announces_identity_and_version(self):
+        hello = hello_message(2, ("db_a", "db_b"), 1234)
+        assert hello == {"type": "hello", "protocol": PROTOCOL_VERSION,
+                         "shard_id": 2, "databases": ["db_a", "db_b"], "pid": 1234}
+        check_protocol(hello)  # does not raise
+
+    @pytest.mark.parametrize("spoken", [0, 2, 99, None, "1"])
+    def test_version_mismatch_raises(self, spoken):
+        with pytest.raises(VersionMismatchError):
+            check_protocol({"type": "hello", "protocol": spoken})
+
+    def test_error_message_shape(self):
+        frame = error_message(17, ValueError("no such shard"))
+        assert frame == {"type": "error", "id": 17, "error": "ValueError",
+                         "message": "no such shard"}
+        assert _read_back(_frame_of(frame)) == frame
+
+
+# -- route payloads ------------------------------------------------------------
+class TestRoutePayloads:
+    AWKWARD_SCORES = [0.1 + 0.2, -1.5e-300, -123.456789012345678, 5e-324,
+                      -0.0, 1 / 3, -17.000000000000004]
+
+    def test_scores_round_trip_bit_exactly(self):
+        routes = [SchemaRoute("db", ("t",), score) for score in self.AWKWARD_SCORES]
+        payload = json.loads(json.dumps(route_lists_to_payload([routes])))
+        restored = route_lists_from_payload(payload)[0]
+        for original, back in zip(routes, restored):
+            assert back == original
+            assert back.score.hex() == original.score.hex()
+
+    def test_merge_is_invariant_under_serialization(self):
+        """The acceptance property: merging shard answers that crossed the
+        wire must rank identically to merging the in-process originals."""
+        shard_a = [SchemaRoute("db1", ("t1", "t2"), -1.3000000000000007),
+                   SchemaRoute("db2", ("t3",), -2.0999999999999996)]
+        shard_b = [SchemaRoute("db3", ("t4",), -1.2999999999999998),
+                   SchemaRoute("db1", ("t1",), -4.7)]
+        local = merge_route_lists([shard_a, shard_b], max_candidates=3)
+        wired = merge_route_lists([
+            route_lists_from_payload(
+                json.loads(json.dumps(route_lists_to_payload([routes]))))[0]
+            for routes in (shard_a, shard_b)
+        ], max_candidates=3)
+        assert wired == local
+
+    def test_malformed_route_payload_raises(self):
+        with pytest.raises(ProtocolError):
+            route_lists_from_payload([[{"database": "db"}]])  # no tables/score
+        with pytest.raises(ProtocolError):
+            route_lists_from_payload([[{"database": "db", "tables": ["t"],
+                                        "score_hex": "not-a-float"}]])
+
+
+# -- the deadline-capable reader ----------------------------------------------
+class TestFrameReader:
+    def _pipe(self):
+        read_fd, write_fd = os.pipe()
+        return os.fdopen(read_fd, "rb", buffering=0), os.fdopen(write_fd, "wb",
+                                                                buffering=0)
+
+    def test_reads_whole_frames(self):
+        reader_file, writer_file = self._pipe()
+        reader = FrameReader(reader_file)
+        try:
+            writer_file.write(_frame_of({"type": "ping", "id": 1})
+                              + _frame_of({"type": "pong", "id": 1}))
+            assert reader.read(timeout_seconds=5.0)["type"] == "ping"
+            assert reader.read(timeout_seconds=5.0)["type"] == "pong"
+            writer_file.close()
+            assert reader.read(timeout_seconds=5.0) is None
+        finally:
+            reader.close()
+            reader_file.close()
+
+    def test_timeout_fires_when_no_frame_arrives(self):
+        reader_file, writer_file = self._pipe()
+        reader = FrameReader(reader_file)
+        try:
+            started = time.monotonic()
+            with pytest.raises(TransportTimeoutError):
+                reader.read(timeout_seconds=0.05)
+            assert time.monotonic() - started < 2.0
+        finally:
+            reader.close()
+            reader_file.close()
+            writer_file.close()
+
+    def test_partial_frame_survives_a_timeout_then_completes(self):
+        """A timeout must not lose buffered bytes: once the rest arrives the
+        frame reads whole (callers usually kill the peer, but the reader
+        itself stays consistent)."""
+        reader_file, writer_file = self._pipe()
+        reader = FrameReader(reader_file)
+        frame = _frame_of({"type": "ping", "id": 7})
+        try:
+            writer_file.write(frame[:5])
+            with pytest.raises(TransportTimeoutError):
+                reader.read(timeout_seconds=0.05)
+            writer_file.write(frame[5:])
+            assert reader.read(timeout_seconds=5.0) == {"type": "ping", "id": 7}
+        finally:
+            reader.close()
+            reader_file.close()
+            writer_file.close()
+
+    def test_eof_mid_frame_is_truncation(self):
+        reader_file, writer_file = self._pipe()
+        reader = FrameReader(reader_file)
+        frame = _frame_of({"type": "ping", "id": 3})
+        try:
+            writer_file.write(frame[: len(frame) - 2])
+            writer_file.close()
+            with pytest.raises(TruncatedFrameError):
+                reader.read(timeout_seconds=5.0)
+        finally:
+            reader.close()
+            reader_file.close()
+
+    def test_slow_writer_still_completes_within_deadline(self):
+        reader_file, writer_file = self._pipe()
+        reader = FrameReader(reader_file)
+        frame = _frame_of({"type": "stats_request", "id": 11})
+
+        def dribble():
+            for byte in frame:
+                writer_file.write(bytes([byte]))
+                time.sleep(0.001)
+
+        thread = threading.Thread(target=dribble, daemon=True)
+        try:
+            thread.start()
+            assert reader.read(timeout_seconds=10.0) == {"type": "stats_request",
+                                                         "id": 11}
+        finally:
+            thread.join()
+            reader.close()
+            reader_file.close()
+            writer_file.close()
+
+    def test_oversized_frame_detected_before_payload_arrives(self):
+        reader_file, writer_file = self._pipe()
+        reader = FrameReader(reader_file, max_frame_bytes=64)
+        try:
+            writer_file.write(FRAME_HEADER.pack(FRAME_MAGIC, 0, 1 << 20))
+            with pytest.raises(FrameTooLargeError):
+                reader.read(timeout_seconds=5.0)
+        finally:
+            reader.close()
+            reader_file.close()
+            writer_file.close()
+
+
+class TestFrameWriter:
+    def _pipe(self):
+        read_fd, write_fd = os.pipe()
+        return os.fdopen(read_fd, "rb", buffering=0), os.fdopen(write_fd, "wb",
+                                                                buffering=0)
+
+    def test_written_frames_read_back(self):
+        reader_file, writer_file = self._pipe()
+        writer = FrameWriter(writer_file)
+        try:
+            writer.write({"type": "ping", "id": 1}, timeout_seconds=5.0)
+            writer.write({"type": "shutdown", "id": 2})
+            assert read_frame(reader_file) == {"type": "ping", "id": 1}
+            assert read_frame(reader_file) == {"type": "shutdown", "id": 2}
+        finally:
+            writer.close()
+            writer_file.close()
+            reader_file.close()
+
+    def test_deadline_fires_when_the_peer_stops_draining(self):
+        """A frame larger than the pipe buffer against a reader that never
+        reads must hit the deadline instead of blocking forever (the wedged-
+        worker case that would otherwise deadlock the proxy's request lock)."""
+        reader_file, writer_file = self._pipe()
+        writer = FrameWriter(writer_file)
+        big = {"type": "route_batch_request", "id": 1,
+               "questions": ["x" * 1024] * 1024}  # ~1 MiB >> pipe buffer
+        try:
+            started = time.monotonic()
+            with pytest.raises(TransportTimeoutError):
+                writer.write(big, timeout_seconds=0.05)
+            assert time.monotonic() - started < 2.0
+        finally:
+            writer.close()
+            writer_file.close()
+            reader_file.close()
+
+
+def test_message_type_registry_is_closed():
+    """Every sample message used above is registered, and the registry has no
+    types the tests never exercise (keeps protocol and tests in lockstep)."""
+    exercised = {m["type"] for m in TestFraming.SAMPLE_MESSAGES} | {"crash"}
+    assert exercised == set(MESSAGE_TYPES)
