@@ -2,9 +2,14 @@
 
 Both sides serve the *same* spider-like catalog from checkpoint-loaded
 weights and are driven with the same seeded Zipf workload in submit_many
-waves.  The cluster wins on a single core because each shard runs a standard
-beam search with a quarter of the monolithic beam budget over its own
-partition; the cross-shard merge then recovers the global top-k.
+waves.  Historically the cluster won even on a single core because each
+shard ran a quarter of the monolithic beam budget over its own partition;
+the vectorized batched decode engine (PR 4) erased that advantage -- the
+monolith now advances all of a wave's beams in stacked kernel calls, so
+beam-budget splitting no longer buys the shards much.  On a single core the
+cluster is expected to hold rough *parity* (scatter-gather, merge, and
+escalation overhead against the residual shard savings); its scaling story
+is real cores via the subprocess backend.
 
 ``--backend subprocess`` (a pytest option from ``benchmarks/conftest.py``)
 runs the throughput cluster on multi-process shard workers driven over the
@@ -19,10 +24,12 @@ Asserted properties:
   cluster's top-1 matches the inproc cluster's on >= 95% of the workload
   (scores cross the wire as hex floats, so in practice it is exact);
 * **throughput** -- on cache-disabled twins (so the decode path is what is
-  measured), the inproc 4-shard cluster sustains >= 1.5x the single-shard
-  routes/sec.  The subprocess backend pays IPC per wave and wins via real
-  cores, so its throughput is *recorded* (CI uploads the summary) rather
-  than gated -- smoke runners have unpredictable core counts.
+  measured), the inproc 4-shard cluster holds >= 0.7x the single-shard
+  routes/sec (a parity floor: scatter-gather must not collapse under the
+  vectorized baseline; measured ~0.95x).  The subprocess backend pays IPC
+  per wave and wins via real cores, so its throughput is *recorded* (CI
+  uploads the summary) rather than gated -- smoke runners have unpredictable
+  core counts.
 
 A one-line ``CLUSTER_SUMMARY {...}`` JSON is printed for CI scraping, like
 ``bench_serving_throughput``'s ``SERVING_SUMMARY``.
@@ -133,7 +140,8 @@ def test_cluster_scaling(benchmark, spider_context, spider_cluster, cluster_back
         # Backend fidelity bar: the wire protocol must not change answers.
         assert backend_agreement_rate >= 0.95, summary
     else:
-        # Scaling bar: four shards with quarter beam budgets must beat one
-        # shard.  (Gated on the inproc backend only; see the module docstring.)
-        assert cluster_report.throughput_rps >= 1.5 * single_report.throughput_rps, \
+        # Parity floor: scatter-gather overhead must not collapse against the
+        # vectorized single-shard baseline.  (Gated on the inproc backend
+        # only; see the module docstring.)
+        assert cluster_report.throughput_rps >= 0.7 * single_report.throughput_rps, \
             summary

@@ -1,0 +1,97 @@
+"""Decode throughput: the vectorized batched beam engine vs the loop backend.
+
+Routes the same seeded workload through the same trained router twice -- once
+with ``decode_backend="vectorized"`` (all active beams of a micro-batch
+advance through one stacked kernel call per step) and once with
+``decode_backend="loop"`` (the per-beam reference path) -- in micro-batches of
+``DECODE_BATCH`` questions.  Besides the result table it prints a one-line
+``DECODE_SUMMARY`` JSON (questions/sec per backend, speedup, agreement) for
+the CI bench-smoke lane to scrape, and asserts both the >=2x speedup bar and
+bit-identical routes across backends.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.router import SchemaRouter
+from repro.utils.tables import ResultTable
+
+#: Micro-batch size under test (the acceptance bar is pinned at batch 8).
+DECODE_BATCH = 8
+#: ``REPRO_BENCH_REQUESTS`` shrinks the seeded workload for smoke lanes.
+NUM_REQUESTS = int(os.environ.get("REPRO_BENCH_REQUESTS", "160"))
+
+
+def _route_key(routes) -> list[tuple]:
+    return [(route.database, route.tables, route.score.hex()) for route in routes]
+
+
+def _clone_with_backend(router: SchemaRouter, backend: str) -> SchemaRouter:
+    clone = SchemaRouter(graph=router.graph,
+                        config=router.config.ablated(decode_backend=backend))
+    clone.restore(router.model, router.source_vocabulary, router.target_vocabulary,
+                  router.training_losses)
+    return clone
+
+
+def _drive(router: SchemaRouter, batches: list[list[str]]) -> tuple[float, list]:
+    routed = []
+    started = time.perf_counter()
+    for batch in batches:
+        routed.extend(router.route_batch(batch))
+    return max(time.perf_counter() - started, 1e-9), routed
+
+
+def test_decode_throughput(benchmark, spider_context):
+    questions = [example.question for example in spider_context.test_examples()[:40]]
+    workload = [questions[index % len(questions)] for index in range(NUM_REQUESTS)]
+    batches = [workload[start:start + DECODE_BATCH]
+               for start in range(0, len(workload), DECODE_BATCH)]
+
+    vectorized = _clone_with_backend(spider_context.copilot.router, "vectorized")
+    loop = _clone_with_backend(spider_context.copilot.router, "loop")
+    # Warm both constraint mask caches so the timed runs compare the engines,
+    # not first-touch trie construction.
+    vectorized.route_batch(batches[0])
+    loop.route_batch(batches[0])
+
+    loop_elapsed, loop_routes = _drive(loop, batches)
+    report = benchmark.pedantic(lambda: _drive(vectorized, batches),
+                                rounds=1, iterations=1)
+    vectorized_elapsed, vectorized_routes = report
+
+    agreement = sum(
+        _route_key(ours) == _route_key(theirs)
+        for ours, theirs in zip(vectorized_routes, loop_routes)
+    ) / max(len(workload), 1)
+    vectorized_qps = len(workload) / vectorized_elapsed
+    loop_qps = len(workload) / loop_elapsed
+    speedup = vectorized_qps / loop_qps
+
+    table = ResultTable(
+        title=f"Decode throughput: vectorized vs loop backend (batch {DECODE_BATCH})",
+        columns=["backend", "questions_per_sec", "ms_per_question"],
+    )
+    table.add_row("loop", round(loop_qps, 1), round(1000.0 / loop_qps, 3))
+    table.add_row("vectorized", round(vectorized_qps, 1), round(1000.0 / vectorized_qps, 3))
+    print()
+    print(table.render())
+
+    summary = {
+        "workload_questions": len(workload),
+        "decode_batch": DECODE_BATCH,
+        "num_beams": vectorized.config.num_beams,
+        "loop_questions_per_sec": round(loop_qps, 1),
+        "vectorized_questions_per_sec": round(vectorized_qps, 1),
+        "speedup": round(speedup, 2),
+        "backend_agreement": round(agreement, 4),
+    }
+    print("DECODE_SUMMARY " + json.dumps(summary, sort_keys=True))
+
+    # The backends must agree bit-for-bit, and vectorization must at least
+    # double decode throughput at the acceptance batch size.
+    assert agreement == 1.0, summary
+    assert speedup >= 2.0, summary

@@ -12,12 +12,17 @@ prefix towards a *valid* serialized schema:
   complete identifier, and EOS only after at least one complete table.
 
 The constraint is exposed as a callable compatible with
-:func:`repro.nn.decoding.diverse_beam_search`.
+:func:`repro.nn.decoding.diverse_beam_search`, plus a vectorized face
+(:meth:`GraphConstrainedDecoding.allowed_mask`) returning cached boolean
+ndarrays over the vocabulary, which the batched decode engine applies with a
+single ``np.where`` instead of iterating Python sets.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.graph import SchemaGraph
 from repro.core.serialization import element_words
@@ -49,6 +54,16 @@ class GraphConstrainedDecoding:
         # Per-database table tries are built lazily and cached.
         self._table_tries: dict[str, PrefixTrie] = {}
         self._table_word_ids: dict[tuple[str, str], tuple[int, ...]] = {}
+        # Boolean allowed-token masks, keyed by the interpreter state a prefix
+        # parses to.  Many prefixes collapse onto one state (every beam inside
+        # a database shares a handful of trie positions), so the cache turns
+        # the per-step constraint from trie walks + set building into one
+        # dictionary hit returning a read-only ndarray.  Distinct states are
+        # combinatorial in catalog size (ordered table tuples x word-prefix
+        # positions), so the cache is bounded: oldest entries are evicted
+        # first once ``max_cached_masks`` is reached.
+        self._mask_cache: dict[tuple, np.ndarray] = {}
+        self.max_cached_masks = 4096
 
     # -- helpers --------------------------------------------------------------
     def _word_ids(self, identifier: str) -> tuple[int, ...]:
@@ -114,7 +129,34 @@ class GraphConstrainedDecoding:
     # -- the constraint callable ------------------------------------------------------
     def allowed_tokens(self, prefix: list[int] | tuple[int, ...]) -> set[int] | None:
         """Token ids allowed after ``prefix`` (the Constraint protocol)."""
+        return self._allowed_for_state(self.interpret(prefix))
+
+    def allowed_mask(self, prefix: list[int] | tuple[int, ...]) -> np.ndarray:
+        """A boolean mask over the vocabulary of the tokens allowed next.
+
+        Masks are cached per interpreter state (the database / tables / trie
+        position a prefix parses to), so repeated beams pay one dict lookup
+        instead of rebuilding restricted tries and Python sets.  The returned
+        array is shared and read-only; apply it with ``np.where``.
+        """
         state = self.interpret(prefix)
+        key = (state.database, state.tables, state.current_words, state.complete)
+        mask = self._mask_cache.get(key)
+        if mask is None:
+            size = len(self.vocabulary)
+            mask = np.zeros(size, dtype=bool)
+            # _allowed_for_state never returns an empty set (it falls back to
+            # {eos}), so the mask always has at least one bit set -- the same
+            # guarantee the set-based path in repro.nn.decoding gives.
+            allowed = self._allowed_for_state(state)
+            mask[[token for token in allowed if 0 <= token < size]] = True
+            mask.setflags(write=False)
+            while len(self._mask_cache) >= self.max_cached_masks:
+                self._mask_cache.pop(next(iter(self._mask_cache)))
+            self._mask_cache[key] = mask
+        return mask
+
+    def _allowed_for_state(self, state: _DecodedState) -> set[int]:
         separator = self.vocabulary.sep_id
         eos = self.vocabulary.eos_id
         allowed: set[int] = set()

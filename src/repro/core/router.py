@@ -23,7 +23,11 @@ from repro.core.serialization import (
     tokens_to_schema,
 )
 from repro.core.synthesis import SyntheticExample
-from repro.nn.decoding import diverse_beam_search, greedy_decode
+from repro.nn.decoding import (
+    diverse_beam_search_batch,
+    diverse_beam_search_loop,
+    greedy_decode,
+)
 from repro.nn.seq2seq import Seq2SeqConfig, Seq2SeqModel
 from repro.nn.tokenizer import Vocabulary, WordTokenizer
 from repro.nn.trainer import Seq2SeqTrainer, TrainerConfig
@@ -55,7 +59,18 @@ class RouterConfig:
     serialization: str = "dfs"
     constrained_decoding: bool = True
     diverse_beam: bool = True
+    #: "vectorized" (default) decodes every question of a batch through the
+    #: stacked beam engine; "loop" keeps the per-beam reference path.  Both
+    #: return bit-identical routes -- the knob exists for differential testing
+    #: and as an escape hatch.
+    decode_backend: str = "vectorized"
     seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.decode_backend not in ("vectorized", "loop"):
+            raise ValueError(
+                f"decode_backend must be 'vectorized' or 'loop', "
+                f"got {self.decode_backend!r}")
 
     def ablated(self, **changes: object) -> "RouterConfig":
         """A copy with some fields overridden (used by the ablation study)."""
@@ -265,12 +280,15 @@ class SchemaRouter:
 
     def route_batch(self, questions: list[str],
                     max_candidates: int | None = None) -> list[list[SchemaRoute]]:
-        """Route several questions, encoding them as one batch.
+        """Route several questions, decoding them as one batch.
 
-        The source encoding (the only batchable matmul on the inference path)
-        runs once for the whole batch, and the tokenizers and decoding
-        constraint are set up once instead of per question; beam decoding then
-        proceeds per item.  Results match per-question :meth:`route` calls.
+        The source encoding runs once for the whole batch, the tokenizers and
+        decoding constraint are set up once instead of per question, and (with
+        the default ``decode_backend="vectorized"``) every active beam of
+        every question advances through one stacked kernel call per decode
+        step.  ``decode_backend="loop"`` decodes each question through the
+        per-beam reference path instead; both backends -- and per-question
+        :meth:`route` calls -- return bit-identical results.
         """
         if self._model is None:
             raise RuntimeError("the router has not been trained yet")
@@ -285,24 +303,36 @@ class SchemaRouter:
             diversity_penalty = self.config.diversity_penalty
         else:
             num_groups, diversity_penalty = 1, 0.0
-        encoded_batch = self._model.encode_numpy_batch([
-            source_tokenizer.encode_text(question, max_length=self.config.max_source_length)
-            for question in questions
-        ])
-        results: list[list[SchemaRoute]] = []
-        for encoded in encoded_batch:
-            hypotheses = diverse_beam_search(
-                self._model, (),
-                self.target_vocabulary.bos_id, self.target_vocabulary.eos_id,
+        bos_id = self.target_vocabulary.bos_id
+        eos_id = self.target_vocabulary.eos_id
+        encoded_batch = self._model.encode_numpy_batch(
+            [source_tokenizer.encode_text(question,
+                                          max_length=self.config.max_source_length)
+             for question in questions],
+            pad_id=self.source_vocabulary.pad_id,
+        )
+        if self.config.decode_backend == "loop":
+            hypotheses_batch = [
+                diverse_beam_search_loop(
+                    self._model, (), bos_id, eos_id,
+                    num_beams=self.config.num_beams, num_groups=num_groups,
+                    diversity_penalty=diversity_penalty,
+                    max_length=self.config.max_decode_length, constraint=constraint,
+                    encoded=encoded,
+                )
+                for encoded in encoded_batch
+            ]
+        else:
+            hypotheses_batch = diverse_beam_search_batch(
+                self._model, encoded_batch, bos_id, eos_id,
                 num_beams=self.config.num_beams, num_groups=num_groups,
                 diversity_penalty=diversity_penalty,
                 max_length=self.config.max_decode_length, constraint=constraint,
-                encoded=encoded,
             )
+        results: list[list[SchemaRoute]] = []
+        for encoded, hypotheses in zip(encoded_batch, hypotheses_batch):
             if not hypotheses:
-                hypotheses = [greedy_decode(self._model, (),
-                                            self.target_vocabulary.bos_id,
-                                            self.target_vocabulary.eos_id,
+                hypotheses = [greedy_decode(self._model, (), bos_id, eos_id,
                                             max_length=self.config.max_decode_length,
                                             constraint=constraint, encoded=encoded)]
             results.append(self._combine_hypotheses(hypotheses, target_tokenizer,

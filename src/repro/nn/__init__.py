@@ -27,6 +27,8 @@ from repro.nn.decoding import (
     BeamHypothesis,
     beam_search,
     diverse_beam_search,
+    diverse_beam_search_batch,
+    diverse_beam_search_loop,
     greedy_decode,
 )
 
@@ -50,5 +52,7 @@ __all__ = [
     "BeamHypothesis",
     "beam_search",
     "diverse_beam_search",
+    "diverse_beam_search_batch",
+    "diverse_beam_search_loop",
     "greedy_decode",
 ]

@@ -3,16 +3,40 @@
 All strategies accept an optional *constraint* callback mapping the decoded
 prefix (token ids, excluding BOS) to the set of token ids allowed next.  The
 DBCopilot router plugs its graph-based prefix-trie constraint in here
-(paper §3.5); passing ``None`` decodes unconstrained.
+(paper §3.5); passing ``None`` decodes unconstrained.  Constraints may
+additionally expose an ``allowed_mask(prefix)`` method returning a boolean
+ndarray over the vocabulary (see
+:class:`repro.core.constrained.GraphConstrainedDecoding`); both engines
+prefer it, applying the constraint as one vectorized ``np.where``.
 
 Diverse beam search follows Vijayakumar et al. (2016), the algorithm the paper
 uses to obtain varied candidate schemata: beams are split into groups, groups
 are expanded sequentially at each step, and a token already chosen by an
 earlier group at the same step is penalised for later groups.
+
+Two implementations share those semantics:
+
+* :func:`diverse_beam_search_batch` -- the hot path.  It advances all active
+  beams of all questions in a micro-batch through one
+  :meth:`~repro.nn.seq2seq.Seq2SeqModel.decode_step_numpy_batch` call per
+  (step, group), with bookkeeping (tokens, lengths, scores, states, finished
+  flags) held in flat numpy arrays.
+* :func:`diverse_beam_search_loop` -- the original per-beam Python loop, kept
+  as the reference for differential testing
+  (``RouterConfig.decode_backend="loop"``).
+
+Both return *bit-identical* hypotheses: token-for-token the same sequences
+with double-for-double the same scores.  The kernel's bit-exactness contract
+covers the numerics; on the search side both engines break score ties
+identically -- stable, lowest-token-id-first (``np.argsort(-scores,
+kind="stable")``), never the platform-dependent order an unstable descending
+sort would give -- so candidate selection, and therefore every downstream
+ranking and cross-process merge, is deterministic.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -49,21 +73,62 @@ class _Beam:
     finished: bool = False
 
 
-def _masked_log_probabilities(log_probabilities: np.ndarray, prefix: Sequence[int],
-                              constraint: Constraint | None, eos_id: int) -> np.ndarray:
-    """Apply the constraint by setting disallowed token log-probs to -inf."""
+def _constraint_mask(constraint: Constraint | None, prefix: Sequence[int],
+                     vocab_size: int, eos_id: int) -> np.ndarray | None:
+    """The allowed-token boolean mask for ``prefix`` (None = unconstrained).
+
+    Uses the constraint's cached ``allowed_mask`` when it has one; otherwise
+    falls back to calling it as a set-returning callable and building the mask
+    (an empty set means "only EOS").
+    """
     if constraint is None:
-        return log_probabilities
+        return None
+    mask_fn = getattr(constraint, "allowed_mask", None)
+    if mask_fn is not None:
+        return mask_fn(prefix)
     allowed = constraint(prefix)
     if allowed is None:
-        return log_probabilities
-    masked = np.full_like(log_probabilities, -np.inf)
+        return None
     allowed_ids = {int(token) for token in allowed}
     if not allowed_ids:
         allowed_ids = {eos_id}
-    indices = [token for token in allowed_ids if 0 <= token < log_probabilities.shape[0]]
-    masked[indices] = log_probabilities[indices]
-    return masked
+    mask = np.zeros(vocab_size, dtype=bool)
+    mask[[token for token in allowed_ids if 0 <= token < vocab_size]] = True
+    return mask
+
+
+def _masked_log_probabilities(log_probabilities: np.ndarray, prefix: Sequence[int],
+                              constraint: Constraint | None, eos_id: int) -> np.ndarray:
+    """Apply the constraint by setting disallowed token log-probs to -inf."""
+    mask = _constraint_mask(constraint, prefix, log_probabilities.shape[0], eos_id)
+    if mask is None:
+        return log_probabilities
+    return np.where(mask, log_probabilities, -np.inf)
+
+
+def _finalize_groups(groups: "list[list[_Beam]]", eos_id: int,
+                     length_penalty: float, num_beams: int) -> list[BeamHypothesis]:
+    """Strip EOS, rank, and deduplicate the surviving beams of one question."""
+    finished: list[BeamHypothesis] = []
+    for group in groups:
+        for beam in group:
+            tokens = beam.tokens
+            if tokens and tokens[-1] == eos_id:
+                tokens = tokens[:-1]
+            finished.append(BeamHypothesis(tokens=tokens, score=beam.score,
+                                           finished=beam.finished))
+    finished.sort(key=lambda hypothesis: hypothesis.normalized_score(length_penalty),
+                  reverse=True)
+    # Deduplicate identical token sequences, keeping the best-scored copy.
+    unique: list[BeamHypothesis] = []
+    seen: set[tuple[int, ...]] = set()
+    for hypothesis in finished:
+        key = tuple(hypothesis.tokens)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(hypothesis)
+    return unique[:num_beams]
 
 
 def greedy_decode(model: Seq2SeqModel, source_ids: Sequence[int], bos_id: int, eos_id: int,
@@ -103,31 +168,61 @@ def beam_search(model: Seq2SeqModel, source_ids: Sequence[int], bos_id: int, eos
     )
 
 
+def _validate_beam_budget(num_beams: int, num_groups: int) -> int:
+    if num_beams <= 0:
+        raise ValueError("num_beams must be positive")
+    if num_groups <= 0 or num_beams % num_groups != 0:
+        raise ValueError("num_beams must be a positive multiple of num_groups")
+    return num_beams // num_groups
+
+
 def diverse_beam_search(model: Seq2SeqModel, source_ids: Sequence[int], bos_id: int, eos_id: int,
                         num_beams: int = 10, num_groups: int = 10,
                         diversity_penalty: float = 2.0, max_length: int = 48,
                         constraint: Constraint | None = None,
                         length_penalty: float = 0.0,
                         encoded: EncodedSource | None = None) -> list[BeamHypothesis]:
-    """Diverse (group) beam search.
+    """Diverse (group) beam search for one question (a thin wrapper).
 
     ``num_beams`` must be divisible by ``num_groups``; the paper uses 10 beams
     in 10 groups with a diversity penalty of 2.0 (§4.1.5).  ``encoded`` lets
     callers reuse a precomputed encoder output instead of re-encoding
-    ``source_ids``.
+    ``source_ids``.  Runs the single question through the batched engine
+    (:func:`diverse_beam_search_batch`); the per-beam reference implementation
+    is :func:`diverse_beam_search_loop`.
     """
-    if num_beams <= 0:
-        raise ValueError("num_beams must be positive")
-    if num_groups <= 0 or num_beams % num_groups != 0:
-        raise ValueError("num_beams must be a positive multiple of num_groups")
-    beams_per_group = num_beams // num_groups
+    _validate_beam_budget(num_beams, num_groups)
+    if encoded is None:
+        encoded = model.encode_numpy(list(source_ids))
+    return diverse_beam_search_batch(
+        model, [encoded], bos_id, eos_id,
+        num_beams=num_beams, num_groups=num_groups,
+        diversity_penalty=diversity_penalty, max_length=max_length,
+        constraint=constraint, length_penalty=length_penalty,
+    )[0]
+
+
+def diverse_beam_search_loop(model: Seq2SeqModel, source_ids: Sequence[int],
+                             bos_id: int, eos_id: int,
+                             num_beams: int = 10, num_groups: int = 10,
+                             diversity_penalty: float = 2.0, max_length: int = 48,
+                             constraint: Constraint | None = None,
+                             length_penalty: float = 0.0,
+                             encoded: EncodedSource | None = None) -> list[BeamHypothesis]:
+    """Per-beam diverse beam search: the reference (``loop``) decode backend.
+
+    Semantically and bit-for-bit identical to running the question through
+    :func:`diverse_beam_search_batch`, but advances one beam per kernel call
+    in plain Python -- the shape the differential tests compare the batched
+    engine against.
+    """
+    beams_per_group = _validate_beam_budget(num_beams, num_groups)
 
     if encoded is None:
         encoded = model.encode_numpy(list(source_ids))
     groups: list[list[_Beam]] = [
         [_Beam(state=encoded.state.copy())] for _ in range(num_groups)
     ]
-    finished: list[BeamHypothesis] = []
 
     for _ in range(max_length):
         tokens_chosen_this_step: dict[int, int] = {}
@@ -153,7 +248,9 @@ def diverse_beam_search(model: Seq2SeqModel, source_ids: Sequence[int], bos_id: 
                     scored = penalised
                 else:
                     scored = log_probabilities
-                top = np.argsort(scored)[::-1][: max(beams_per_group * 2, 2)]
+                # Stable descending sort: ties resolve lowest-token-id-first,
+                # identically to the batched engine.
+                top = np.argsort(-scored, kind="stable")[: max(beams_per_group * 2, 2)]
                 for token in top:
                     token = int(token)
                     if not np.isfinite(log_probabilities[token]):
@@ -182,22 +279,248 @@ def diverse_beam_search(model: Seq2SeqModel, source_ids: Sequence[int], bos_id: 
         if not any_active:
             break
 
-    for group in groups:
-        for beam in group:
-            tokens = beam.tokens
-            if tokens and tokens[-1] == eos_id:
-                tokens = tokens[:-1]
-            finished.append(BeamHypothesis(tokens=tokens, score=beam.score,
-                                           finished=beam.finished))
-    finished.sort(key=lambda hypothesis: hypothesis.normalized_score(length_penalty),
-                  reverse=True)
-    # Deduplicate identical token sequences, keeping the best-scored copy.
-    unique: list[BeamHypothesis] = []
-    seen: set[tuple[int, ...]] = set()
-    for hypothesis in finished:
-        key = tuple(hypothesis.tokens)
-        if key in seen:
-            continue
-        seen.add(key)
-        unique.append(hypothesis)
-    return unique[:num_beams]
+    return _finalize_groups(groups, eos_id, length_penalty, num_beams)
+
+
+def diverse_beam_search_batch(model: Seq2SeqModel, encoded_batch: "list[EncodedSource]",
+                              bos_id: int, eos_id: int,
+                              num_beams: int = 10, num_groups: int = 10,
+                              diversity_penalty: float = 2.0, max_length: int = 48,
+                              constraint: Constraint | None = None,
+                              length_penalty: float = 0.0) -> list[list[BeamHypothesis]]:
+    """Diverse beam search over a whole micro-batch of questions at once.
+
+    Per step, the active beams of *all* groups of *all* questions advance
+    through one stacked
+    :meth:`~repro.nn.seq2seq.Seq2SeqModel.decode_step_numpy_batch` call
+    against their zero-padded encoder memories -- every beam's kernel inputs
+    (state, previous token) are fixed before any group selects, so a single
+    call per step is exact.  Constraint masks apply as one ``np.where`` over
+    the stacked rows.  Group-sequential Hamming diversity is preserved
+    exactly: groups still *select* in order within a step, each later group
+    scoring against its question's tally of tokens the earlier groups chose.
+    Beam bookkeeping (tokens, lengths, scores, states, finished flags) lives
+    in flat numpy arrays.
+
+    Returns one hypothesis list per question, bit-identical to
+    :func:`diverse_beam_search_loop` on the same inputs.
+    """
+    beams_per_group = _validate_beam_budget(num_beams, num_groups)
+    num_questions = len(encoded_batch)
+    if num_questions == 0:
+        return []
+    hidden = encoded_batch[0].state.shape[0]
+    vocab_size = model.config.target_vocab_size
+    padded_length = max(encoded.memory.shape[0] for encoded in encoded_batch)
+    memory = np.zeros((num_questions, padded_length, hidden))
+    memory_mask = np.zeros((num_questions, padded_length), dtype=bool)
+    for question, encoded in enumerate(encoded_batch):
+        true_length = encoded.memory.shape[0]
+        memory[question, :true_length] = encoded.memory
+        memory_mask[question, :true_length] = np.asarray(encoded.mask) != 0.0
+    # The kernel's attention pooling wants memory with a ones column appended
+    # (the attention normalizer rides the same einsum); build it once here so
+    # each step only gathers rows instead of re-concatenating.
+    augmented_memory = np.concatenate(
+        [memory, np.ones((num_questions, padded_length, 1))], axis=2)
+
+    # Flat per-(question, group, slot) bookkeeping.  ``alive`` counts the
+    # slots in use per group (1 at the start, up to ``beams_per_group`` after
+    # the first selection).
+    shape = (num_questions, num_groups, beams_per_group)
+    tokens = np.zeros(shape + (max_length,), dtype=np.int64)
+    lengths = np.zeros(shape, dtype=np.int64)
+    scores = np.zeros(shape, dtype=np.float64)
+    states = np.zeros(shape + (hidden,), dtype=np.float64)
+    finished = np.zeros(shape, dtype=bool)
+    alive = np.ones((num_questions, num_groups), dtype=np.int64)
+    for question, encoded in enumerate(encoded_batch):
+        states[question, :, 0] = encoded.state
+
+    top_n = max(beams_per_group * 2, 2)
+    # Scratch buffers reused by every (question, group) selection write-back.
+    # Slots beyond a beam's recorded length may hold stale tokens; no reader
+    # ever looks past ``lengths``.
+    scratch_tokens = np.zeros((beams_per_group, max_length), dtype=np.int64)
+    scratch_lengths = np.zeros(beams_per_group, dtype=np.int64)
+    scratch_scores = np.zeros(beams_per_group, dtype=np.float64)
+    scratch_states = np.zeros((beams_per_group, hidden), dtype=np.float64)
+    scratch_finished = np.zeros(beams_per_group, dtype=bool)
+
+    def score_of(candidate: tuple) -> float:
+        return candidate[0]
+
+    for _ in range(max_length):
+        # Python-list snapshots of the step-start bookkeeping: selection only
+        # ever reads pre-step values (the scratch write-back below is the sole
+        # writer), and plain lists are an order of magnitude faster than numpy
+        # scalar indexing in the per-beam loops.
+        alive_list = alive.tolist()
+        finished_list = finished.tolist()
+        scores_list = scores.tolist()
+        lengths_list = lengths.tolist()
+
+        # Stack the active beams of every (question, group), ordered so each
+        # group occupies one contiguous block of rows.  All kernel inputs are
+        # fixed at step start -- selection within a group only decides which
+        # beams survive into the *next* step -- so one stacked call serves
+        # every group of the step.
+        row_question: list[int] = []
+        row_beam: list[int] = []
+        row_group: list[int] = []
+        group_bounds: list[tuple[int, int]] = []
+        row_lookup: dict[tuple[int, int, int], int] = {}
+        for group in range(num_groups):
+            start = len(row_question)
+            for question in range(num_questions):
+                question_finished = finished_list[question][group]
+                for beam in range(alive_list[question][group]):
+                    if not question_finished[beam]:
+                        row_lookup[group, question, beam] = len(row_question)
+                        row_question.append(question)
+                        row_beam.append(beam)
+                        row_group.append(group)
+            group_bounds.append((start, len(row_question)))
+        if not row_question:
+            break
+        question_index = np.asarray(row_question, dtype=np.int64)
+        beam_index = np.asarray(row_beam, dtype=np.int64)
+        group_index = np.asarray(row_group, dtype=np.int64)
+        row_lengths = lengths[question_index, group_index, beam_index]
+        previous = np.where(
+            row_lengths > 0,
+            tokens[question_index, group_index, beam_index,
+                   np.maximum(row_lengths - 1, 0)],
+            bos_id)
+        log_probabilities, step_states = model.decode_step_numpy_batch(
+            memory[question_index], memory_mask[question_index],
+            states[question_index, group_index, beam_index], previous,
+            augmented_memory=augmented_memory[question_index])
+
+        if constraint is not None:
+            # Constraints are pure functions of the prefix, so rows sharing a
+            # prefix (e.g. every group at step 0) share one mask lookup.
+            row_masks = np.ones_like(log_probabilities, dtype=bool)
+            constrain_rows = False
+            mask_memo: dict[tuple[int, ...], np.ndarray | None] = {}
+            for row, (question, group, beam) in enumerate(
+                    zip(row_question, row_group, row_beam)):
+                prefix = tokens[question, group, beam,
+                                :lengths_list[question][group][beam]].tolist()
+                key = tuple(prefix)
+                if key in mask_memo:
+                    mask = mask_memo[key]
+                else:
+                    mask = _constraint_mask(constraint, prefix, vocab_size, eos_id)
+                    mask_memo[key] = mask
+                if mask is not None:
+                    row_masks[row] = mask
+                    constrain_rows = True
+            if constrain_rows:
+                log_probabilities = np.where(row_masks, log_probabilities, -np.inf)
+
+        chosen: list[dict[int, int]] = [{} for _ in range(num_questions)]
+        for group in range(num_groups):
+            start, stop = group_bounds[group]
+            if start == stop:
+                continue
+            block_logp = log_probabilities[start:stop]
+            scored = block_logp
+            if diversity_penalty > 0.0:
+                penalised = None
+                penalty_of: dict[int, np.ndarray] = {}
+                for block_row in range(stop - start):
+                    question = row_question[start + block_row]
+                    if not chosen[question]:
+                        continue
+                    if penalised is None:
+                        penalised = block_logp.copy()
+                    penalty = penalty_of.get(question)
+                    if penalty is None:
+                        penalty = np.zeros(vocab_size)
+                        for token, count in chosen[question].items():
+                            penalty[token] = diversity_penalty * count
+                        penalty_of[question] = penalty
+                    penalised[block_row] = block_logp[block_row] - penalty
+                if penalised is not None:
+                    scored = penalised
+
+            # One stable descending argsort across the group's rows: ties
+            # resolve lowest-token-id-first, identically to the loop path.
+            order = np.argsort(-scored, axis=1, kind="stable")[:, :top_n]
+            order_list = order.tolist()
+            # ``.tolist()`` preserves every bit: the Python floats compare and
+            # add exactly like the float64 array elements they came from.
+            values_list = np.take_along_axis(block_logp, order, axis=1).tolist()
+
+            # Per-question candidate selection (cheap Python: ~2x beam budget
+            # candidates per beam), preserving the loop path's enumeration
+            # order so stable sorting breaks ties identically.  A candidate is
+            # (score, token, parent_beam, kernel_row); token -1 marks a
+            # finished beam passing through unchanged.
+            for question in range(num_questions):
+                candidates: list[tuple[float, int, int, int]] = []
+                has_active = False
+                question_scores = scores_list[question][group]
+                question_finished = finished_list[question][group]
+                for beam in range(alive_list[question][group]):
+                    if question_finished[beam]:
+                        candidates.append((question_scores[beam], -1, beam, -1))
+                        continue
+                    has_active = True
+                    block_row = row_lookup[group, question, beam] - start
+                    parent_score = question_scores[beam]
+                    row_values = values_list[block_row]
+                    row_order = order_list[block_row]
+                    for position in range(top_n):
+                        value = row_values[position]
+                        if not math.isfinite(value):
+                            continue
+                        candidates.append((parent_score + value,
+                                           row_order[position],
+                                           beam,
+                                           start + block_row))
+                if not candidates or not has_active:
+                    continue
+                candidates.sort(key=score_of, reverse=True)
+                selected = candidates[:beams_per_group]
+                for slot, (score, token, parent, row) in enumerate(selected):
+                    parent_length = lengths_list[question][group][parent]
+                    scratch_tokens[slot, :parent_length] = \
+                        tokens[question, group, parent, :parent_length]
+                    if token < 0:
+                        # A finished beam passing through unchanged.
+                        scratch_lengths[slot] = parent_length
+                        scratch_scores[slot] = question_scores[parent]
+                        scratch_states[slot] = states[question, group, parent]
+                        scratch_finished[slot] = True
+                        continue
+                    scratch_tokens[slot, parent_length] = token
+                    scratch_lengths[slot] = parent_length + 1
+                    scratch_scores[slot] = score
+                    scratch_states[slot] = step_states[row]
+                    scratch_finished[slot] = token == eos_id
+                    if token != eos_id:
+                        chosen[question][token] = chosen[question].get(token, 0) + 1
+                count = len(selected)
+                tokens[question, group, :count] = scratch_tokens[:count]
+                lengths[question, group, :count] = scratch_lengths[:count]
+                scores[question, group, :count] = scratch_scores[:count]
+                states[question, group, :count] = scratch_states[:count]
+                finished[question, group, :count] = scratch_finished[:count]
+                alive[question, group] = count
+
+    results: list[list[BeamHypothesis]] = []
+    for question in range(num_questions):
+        groups_out: list[list[_Beam]] = []
+        for group in range(num_groups):
+            group_beams: list[_Beam] = []
+            for beam in range(alive[question, group]):
+                length = int(lengths[question, group, beam])
+                group_beams.append(_Beam(
+                    tokens=tokens[question, group, beam, :length].tolist(),
+                    score=float(scores[question, group, beam]),
+                    finished=bool(finished[question, group, beam])))
+            groups_out.append(group_beams)
+        results.append(_finalize_groups(groups_out, eos_id, length_penalty, num_beams))
+    return results

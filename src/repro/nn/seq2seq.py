@@ -9,8 +9,16 @@ Architecture (a compact stand-in for the paper's T5-base):
   state are combined and projected to target-vocabulary logits.
 
 Training uses the autograd engine; inference (:meth:`Seq2SeqModel.encode_numpy`
-and :meth:`Seq2SeqModel.decode_step_numpy`) runs on raw numpy so that beam
-search and constrained decoding stay fast and allocation-free.
+and :meth:`Seq2SeqModel.decode_step_numpy_batch`) runs on raw numpy so that
+beam search and constrained decoding stay fast and allocation-free.
+
+The decode hot path is the batched kernel
+:meth:`Seq2SeqModel.decode_step_numpy_batch`, which advances any number of
+beams -- across questions -- in one stacked step;
+:meth:`Seq2SeqModel.decode_step_numpy` is its single-beam wrapper.  The kernel
+keeps a strict bit-exactness contract (see its docstring): a beam produces the
+same doubles whether it is decoded alone or stacked into a batch, which is
+what lets the vectorized and loop decode backends return identical routes.
 """
 
 from __future__ import annotations
@@ -124,37 +132,58 @@ class Seq2SeqModel(Module):
     # ------------------------------------------------------------------
     # Inference path (plain numpy, no autograd overhead)
     # ------------------------------------------------------------------
-    def encode_numpy(self, source_ids: list[int] | np.ndarray) -> EncodedSource:
-        """Encode one source sequence for decoding."""
+    def encode_numpy(self, source_ids: list[int] | np.ndarray,
+                     pad_id: int = 0) -> EncodedSource:
+        """Encode one source sequence for decoding.
+
+        An empty sequence (an empty or all-whitespace question) encodes as a
+        single ``pad_id`` token, so "no input" flows through the same defined
+        path instead of borrowing whatever word happens to sit at id 0.
+        """
         ids = np.asarray(source_ids, dtype=np.int64)
         if ids.size == 0:
-            ids = np.asarray([0], dtype=np.int64)
+            ids = np.asarray([pad_id], dtype=np.int64)
         embedded = self.source_embedding.weight.data[ids]               # (T, d)
-        memory = np.tanh(embedded @ self.encoder_projection.weight.data
-                         + self.encoder_projection.bias.data)           # (T, h)
+        # One (1, d) matmul slice per token: per-token results are then
+        # independent of the sequence's length and of any batching, so
+        # :meth:`encode_numpy_batch` can reproduce them bit-for-bit.
+        memory = np.tanh(
+            np.matmul(embedded[:, None, :],
+                      self.encoder_projection.weight.data)[:, 0, :]
+            + self.encoder_projection.bias.data)                        # (T, h)
         pooled = memory.mean(axis=0)
         state = np.tanh(pooled @ self.state_init.weight.data + self.state_init.bias.data)
         return EncodedSource(memory=memory, mask=np.ones(len(ids)), state=state)
 
-    def encode_numpy_batch(self, source_ids_batch: list[list[int]]) -> list[EncodedSource]:
+    def encode_numpy_batch(self, source_ids_batch: list[list[int]],
+                           pad_id: int = 0) -> list[EncodedSource]:
         """Encode several source sequences at once for decoding.
 
-        The embedding lookup and encoder projection run as one padded batched
-        matmul (the expensive part), then each item's memory is sliced back to
-        its true length so downstream decoding is indistinguishable from
-        :meth:`encode_numpy`.
+        The embedding lookup and encoder projection run as one stacked matmul
+        over every token of the padded batch (the expensive part), then each
+        item's memory is sliced back to its true length.  The stack presents
+        one ``(1, d)`` slice per token to BLAS -- the same shape
+        :meth:`encode_numpy` uses -- so each question encodes to *bit-identical*
+        doubles no matter which micro-batch it arrives in: routes, and
+        therefore caches and cross-shard merges, never depend on batch
+        composition.  Empty sequences encode as a single ``pad_id`` token,
+        exactly as in :meth:`encode_numpy`.
         """
         if not source_ids_batch:
             return []
-        sequences = [np.asarray(ids if len(ids) else [0], dtype=np.int64)
+        sequences = [np.asarray(ids if len(ids) else [pad_id], dtype=np.int64)
                      for ids in source_ids_batch]
         max_length = max(len(sequence) for sequence in sequences)
         padded = np.zeros((len(sequences), max_length), dtype=np.int64)
         for row, sequence in enumerate(sequences):
             padded[row, : len(sequence)] = sequence
         embedded = self.source_embedding.weight.data[padded]            # (B, T, d)
-        memory = np.tanh(embedded @ self.encoder_projection.weight.data
-                         + self.encoder_projection.bias.data)           # (B, T, h)
+        batch_size, length, dim = embedded.shape
+        projected = np.matmul(embedded.reshape(batch_size * length, 1, dim),
+                              self.encoder_projection.weight.data)
+        memory = np.tanh(
+            projected.reshape(batch_size, length, -1)
+            + self.encoder_projection.bias.data)                        # (B, T, h)
         encoded: list[EncodedSource] = []
         for row, sequence in enumerate(sequences):
             item_memory = memory[row, : len(sequence)]
@@ -166,19 +195,85 @@ class Seq2SeqModel(Module):
 
     def decode_step_numpy(self, encoded: EncodedSource, state: np.ndarray,
                           previous_id: int) -> tuple[np.ndarray, np.ndarray]:
-        """One inference decoder step; returns (log-probabilities ``(V,)``, new state)."""
-        previous_embedded = self.target_embedding.weight.data[previous_id]
-        state = np.tanh(previous_embedded @ self.input_projection.weight.data
-                        + state @ self.recurrent_projection.weight.data
-                        + self.recurrent_projection.bias.data)
-        scores = encoded.memory @ state                                  # (T,)
-        scores = scores - scores.max()
-        attention = np.exp(scores)
-        attention = attention / attention.sum()
-        context = attention @ encoded.memory                             # (h,)
-        combined = np.tanh(np.concatenate([state, context]) @ self.combine_projection.weight.data
-                           + self.combine_projection.bias.data)
-        logits = combined @ self.output_projection.weight.data + self.output_projection.bias.data
-        logits = logits - logits.max()
-        log_probabilities = logits - np.log(np.exp(logits).sum())
-        return log_probabilities, state
+        """One inference decoder step for one beam (a thin wrapper).
+
+        Delegates to :meth:`decode_step_numpy_batch` with a single row; by the
+        kernel's bit-exactness contract the result is identical to the same
+        beam advanced inside any larger batch.  Returns (log-probabilities
+        ``(V,)``, new state ``(h,)``).
+        """
+        memory = encoded.memory[None, :, :]
+        memory_mask = (np.asarray(encoded.mask) != 0.0)[None, :]
+        log_probabilities, new_states = self.decode_step_numpy_batch(
+            memory, memory_mask,
+            np.asarray(state, dtype=np.float64)[None, :],
+            np.asarray([previous_id], dtype=np.int64),
+        )
+        return log_probabilities[0], new_states[0]
+
+    def decode_step_numpy_batch(self, memory: np.ndarray, memory_mask: np.ndarray,
+                                states: np.ndarray, previous_ids: np.ndarray,
+                                augmented_memory: np.ndarray | None = None
+                                ) -> tuple[np.ndarray, np.ndarray]:
+        """Advance ``R`` decoder beams with one stacked step.
+
+        ``memory`` is ``(R, T, h)`` (zero-padded along ``T``), ``memory_mask``
+        ``(R, T)`` bool (True at real source positions), ``states`` ``(R, h)``,
+        ``previous_ids`` ``(R,)``.  ``augmented_memory`` is an optional
+        precomputed ``(R, T, h+1)`` copy of ``memory`` with a ones column
+        appended (hot callers build it once per decode instead of per step);
+        built here when absent.  Returns (log-probabilities ``(R, V)``, new
+        states ``(R, h)``).
+
+        Bit-exactness contract: row ``r`` of the result depends only on row
+        ``r`` of the inputs, and is invariant both to the number of other rows
+        in the batch and to how far ``T`` is zero-padded.  A beam therefore
+        decodes to identical doubles whether it runs alone (the ``loop``
+        backend, via :meth:`decode_step_numpy`) or stacked with the rest of a
+        micro-batch (the ``vectorized`` backend).  The contract dictates the
+        numerics used here:
+
+        * the fixed-dimension projections run as stacked ``(R, 1, k) @ (k, n)``
+          matmuls -- BLAS sees one ``(1, k)`` slice per row, so per-row results
+          cannot depend on ``R`` (a flat ``(R, k) @ (k, n)`` GEMM does not have
+          that property: OpenBLAS picks different kernels for different row
+          counts);
+        * contractions over the padded ``T`` axis use ``einsum`` forms whose
+          reduction axis is *not* innermost (``rth,rh->rt`` / ``rt,rth->rh``),
+          which accumulate ``t`` sequentially -- appending zero terms is then
+          an exact no-op (plain ``sum(axis=...)`` pairwise reductions and
+          innermost-axis einsums regroup partial sums when ``T`` changes);
+        * the attention normalizer rides along the stable context einsum via a
+          ones column appended to the memory, instead of a separate
+          length-sensitive row sum;
+        * per-row softmax reductions run over the vocabulary axis, whose
+          length never varies with batching.
+        """
+        previous_embedded = self.target_embedding.weight.data[previous_ids]     # (R, d)
+        pre_activation = (
+            np.matmul(previous_embedded[:, None, :], self.input_projection.weight.data)
+            + np.matmul(states[:, None, :], self.recurrent_projection.weight.data)
+        )[:, 0, :] + self.recurrent_projection.bias.data
+        new_states = np.tanh(pre_activation)                                    # (R, h)
+
+        scores = np.einsum("rth,rh->rt", memory, new_states)                    # (R, T)
+        scores = np.where(memory_mask, scores, -np.inf)
+        scores = scores - scores.max(axis=1, keepdims=True)
+        attention = np.exp(scores)                                              # pads -> 0.0
+        rows, length, hidden = memory.shape
+        if augmented_memory is None:
+            augmented_memory = np.concatenate(
+                [memory, np.ones((rows, length, 1))], axis=2)                   # (R, T, h+1)
+        pooled = np.einsum("rt,rth->rh", attention, augmented_memory)           # (R, h+1)
+        context = pooled[:, :hidden] / pooled[:, hidden:]                       # (R, h)
+
+        combined = np.tanh(
+            np.matmul(np.concatenate([new_states, context], axis=1)[:, None, :],
+                      self.combine_projection.weight.data)[:, 0, :]
+            + self.combine_projection.bias.data)
+        logits = np.matmul(combined[:, None, :],
+                           self.output_projection.weight.data)[:, 0, :] \
+            + self.output_projection.bias.data
+        logits = logits - logits.max(axis=1, keepdims=True)
+        log_probabilities = logits - np.log(np.exp(logits).sum(axis=1, keepdims=True))
+        return log_probabilities, new_states

@@ -3,6 +3,7 @@ synthesis, constrained decoding, and the schema router."""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -212,6 +213,41 @@ class TestTrieAndConstrainedDecoding:
         state = decoder.interpret(prefix)
         assert state.database == "world"
         assert state.tables == ("country",)
+
+    def test_allowed_mask_matches_allowed_tokens(self, constrained):
+        decoder, vocabulary = constrained
+        prefixes = [
+            [],
+            [vocabulary.id_of("world")],
+            [vocabulary.id_of("world"), vocabulary.sep_id],
+            [vocabulary.id_of("world"), vocabulary.sep_id,
+             vocabulary.id_of("city"), vocabulary.sep_id],
+        ]
+        for prefix in prefixes:
+            mask = decoder.allowed_mask(prefix)
+            assert mask.dtype == np.bool_
+            assert mask.shape == (len(vocabulary),)
+            assert set(np.flatnonzero(mask).tolist()) == decoder.allowed_tokens(prefix)
+
+    def test_allowed_mask_cached_per_interpreter_state(self, constrained):
+        decoder, vocabulary = constrained
+        prefix = [vocabulary.id_of("world"), vocabulary.sep_id]
+        first = decoder.allowed_mask(prefix)
+        again = decoder.allowed_mask(list(prefix))
+        assert first is again  # served from the per-state cache
+        with pytest.raises(ValueError):
+            first[0] = True  # cached masks are shared and read-only
+
+    def test_allowed_mask_cache_is_bounded(self, constrained):
+        decoder, vocabulary = constrained
+        decoder.max_cached_masks = 1
+        decoder._mask_cache.clear()
+        prefixes = [[], [vocabulary.id_of("world")],
+                    [vocabulary.id_of("world"), vocabulary.sep_id]]
+        for prefix in prefixes:  # evictions never change the answers
+            mask = decoder.allowed_mask(prefix)
+            assert set(np.flatnonzero(mask).tolist()) == decoder.allowed_tokens(prefix)
+        assert len(decoder._mask_cache) == 1
 
 
 class TestSchemaRouter:

@@ -1,0 +1,266 @@
+"""Differential tests: the vectorized decode backend vs. the loop reference.
+
+The contract under test is *bit-identity*: for any catalog, seed, batch size,
+and beam budget, ``decode_backend="vectorized"`` must return exactly the
+hypotheses of ``decode_backend="loop"`` -- token-for-token the same sequences
+with double-for-double the same scores (compared via C99 hex formatting, so
+not a single bit may drift).  Everything downstream -- route caches, shard
+merges, cross-process agreement -- leans on this property.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.graph import SchemaGraph
+from repro.core.questioner import TemplateQuestioner
+from repro.core.router import RouterConfig, SchemaRouter
+from repro.core.sampling import SchemaSampler
+from repro.core.synthesis import SynthesisConfig, synthesize_training_data
+from repro.datasets import CollectionConfig, build_collection
+from repro.nn.decoding import (
+    diverse_beam_search,
+    diverse_beam_search_batch,
+    diverse_beam_search_loop,
+)
+from repro.nn.seq2seq import Seq2SeqConfig, Seq2SeqModel
+from repro.nn.tokenizer import WordTokenizer, build_vocabulary
+from repro.nn.trainer import Seq2SeqTrainer, TrainerConfig
+
+
+def _hypothesis_key(hypothesis):
+    return (tuple(hypothesis.tokens), hypothesis.score.hex(), hypothesis.finished)
+
+
+def _route_key(routes):
+    return [(route.database, route.tables, route.score.hex()) for route in routes]
+
+
+# ---------------------------------------------------------------------------
+# Raw engine level: a toy Seq2Seq model, no router on top.
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def toy_model():
+    source_vocab = build_vocabulary(
+        ["alpha beta", "gamma delta", "epsilon zeta", "eta theta kappa"])
+    target_vocab = build_vocabulary(
+        [], extra_tokens=["one", "two", "three", "four", "five", "six"])
+    source_tokenizer = WordTokenizer(source_vocab)
+    target_tokenizer = WordTokenizer(target_vocab)
+    data = [("alpha beta", ["one", "two"]),
+            ("gamma delta", ["three"]),
+            ("epsilon zeta", ["four", "one"]),
+            ("eta theta kappa", ["five", "two", "one"])]
+    pairs = [(source_tokenizer.encode_text(question),
+              target_tokenizer.encode_tokens(target))
+             for question, target in data]
+    model = Seq2SeqModel(Seq2SeqConfig(len(source_vocab), len(target_vocab),
+                                       embedding_dim=16, hidden_dim=24, seed=3))
+    Seq2SeqTrainer(model, TrainerConfig(epochs=30, batch_size=4,
+                                        learning_rate=0.02, seed=3)).train(pairs)
+    questions = [question for question, _ in data] + ["alpha delta", "zeta beta theta"]
+    encoded = model.encode_numpy_batch(
+        [source_tokenizer.encode_text(question) for question in questions])
+    return model, target_vocab, encoded
+
+
+BUDGETS = [(1, 1, 0.0), (4, 1, 0.0), (4, 2, 2.0), (6, 3, 1.5), (6, 6, 2.0)]
+
+
+class TestEngineDifferential:
+    @pytest.mark.parametrize("num_beams,num_groups,penalty", BUDGETS)
+    def test_batch_matches_loop_unconstrained(self, toy_model, num_beams,
+                                              num_groups, penalty):
+        model, vocabulary, encoded = toy_model
+        batched = diverse_beam_search_batch(
+            model, encoded, vocabulary.bos_id, vocabulary.eos_id,
+            num_beams=num_beams, num_groups=num_groups,
+            diversity_penalty=penalty, max_length=8)
+        for item, one in zip(encoded, batched):
+            looped = diverse_beam_search_loop(
+                model, (), vocabulary.bos_id, vocabulary.eos_id,
+                num_beams=num_beams, num_groups=num_groups,
+                diversity_penalty=penalty, max_length=8, encoded=item)
+            assert [_hypothesis_key(h) for h in one] == \
+                [_hypothesis_key(h) for h in looped]
+
+    @pytest.mark.parametrize("num_beams,num_groups,penalty", BUDGETS)
+    def test_batch_matches_loop_constrained(self, toy_model, num_beams,
+                                            num_groups, penalty):
+        """A synthetic constraint (even ids after even-length prefixes)."""
+        model, vocabulary, encoded = toy_model
+        size = model.config.target_vocab_size
+
+        def constraint(prefix):
+            parity = len(prefix) % 2
+            return {token for token in range(size) if token % 2 == parity} \
+                | {vocabulary.eos_id}
+
+        batched = diverse_beam_search_batch(
+            model, encoded, vocabulary.bos_id, vocabulary.eos_id,
+            num_beams=num_beams, num_groups=num_groups,
+            diversity_penalty=penalty, max_length=8, constraint=constraint)
+        for item, one in zip(encoded, batched):
+            looped = diverse_beam_search_loop(
+                model, (), vocabulary.bos_id, vocabulary.eos_id,
+                num_beams=num_beams, num_groups=num_groups,
+                diversity_penalty=penalty, max_length=8,
+                constraint=constraint, encoded=item)
+            assert [_hypothesis_key(h) for h in one] == \
+                [_hypothesis_key(h) for h in looped]
+
+    def test_wrapper_routes_through_batch_engine(self, toy_model):
+        model, vocabulary, encoded = toy_model
+        direct = diverse_beam_search(model, (), vocabulary.bos_id, vocabulary.eos_id,
+                                     num_beams=4, num_groups=2, max_length=8,
+                                     encoded=encoded[0])
+        batched = diverse_beam_search_batch(model, [encoded[0]], vocabulary.bos_id,
+                                            vocabulary.eos_id, num_beams=4,
+                                            num_groups=2, max_length=8)[0]
+        assert [_hypothesis_key(h) for h in direct] == \
+            [_hypothesis_key(h) for h in batched]
+
+    def test_empty_batch(self, toy_model):
+        model, vocabulary, _ = toy_model
+        assert diverse_beam_search_batch(model, [], vocabulary.bos_id,
+                                         vocabulary.eos_id) == []
+
+    def test_invalid_budget_rejected(self, toy_model):
+        model, vocabulary, encoded = toy_model
+        with pytest.raises(ValueError):
+            diverse_beam_search_batch(model, encoded, vocabulary.bos_id,
+                                      vocabulary.eos_id, num_beams=5, num_groups=3)
+
+    def test_batch_composition_invariance(self, toy_model):
+        """A question decodes identically alone, in pairs, and in the full
+        batch -- the property route caches and shard merges rely on."""
+        model, vocabulary, encoded = toy_model
+        full = diverse_beam_search_batch(
+            model, encoded, vocabulary.bos_id, vocabulary.eos_id,
+            num_beams=4, num_groups=2, max_length=8)
+        for index, item in enumerate(encoded):
+            alone = diverse_beam_search_batch(
+                model, [item], vocabulary.bos_id, vocabulary.eos_id,
+                num_beams=4, num_groups=2, max_length=8)[0]
+            assert [_hypothesis_key(h) for h in alone] == \
+                [_hypothesis_key(h) for h in full[index]]
+        pair = diverse_beam_search_batch(
+            model, [encoded[-1], encoded[0]], vocabulary.bos_id, vocabulary.eos_id,
+            num_beams=4, num_groups=2, max_length=8)
+        assert [_hypothesis_key(h) for h in pair[0]] == \
+            [_hypothesis_key(h) for h in full[-1]]
+        assert [_hypothesis_key(h) for h in pair[1]] == \
+            [_hypothesis_key(h) for h in full[0]]
+
+
+# ---------------------------------------------------------------------------
+# Router level: trained routers over synthetic catalogs, graph constraints on.
+# ---------------------------------------------------------------------------
+def _train_router(seed: int, num_databases: int, **config_changes) -> tuple:
+    dataset = build_collection(CollectionConfig(
+        name=f"diff-{seed}", num_databases=num_databases, rows_per_table=8,
+        examples_per_database=6, seed=seed))
+    graph = SchemaGraph.from_catalog(dataset.catalog)
+    questioner = TemplateQuestioner(catalog=dataset.catalog, seed=seed)
+    sampler = SchemaSampler(graph, seed=seed)
+    report = synthesize_training_data(sampler, questioner,
+                                      SynthesisConfig(num_samples=150))
+    config = RouterConfig(epochs=6, embedding_dim=20, hidden_dim=32,
+                          num_beams=6, beam_groups=6, seed=seed, **config_changes)
+    router = SchemaRouter(graph=graph, config=config)
+    router.fit(report.examples)
+    questions = [example.question for example in report.examples]
+    return router, questions
+
+
+def _loop_twin(router: SchemaRouter) -> SchemaRouter:
+    """The same trained weights behind the loop reference backend."""
+    twin = SchemaRouter(graph=router.graph,
+                        config=router.config.ablated(decode_backend="loop"))
+    twin.restore(router.model, router.source_vocabulary, router.target_vocabulary,
+                 router.training_losses)
+    return twin
+
+
+@pytest.fixture(scope="module", params=[(11, 5), (29, 8)],
+                ids=["catalog-small", "catalog-wide"])
+def trained_pair(request):
+    seed, num_databases = request.param
+    router, questions = _train_router(seed, num_databases)
+    return router, _loop_twin(router), questions
+
+
+class TestRouterDifferential:
+    @pytest.mark.parametrize("batch_size", [1, 2, 5, 9])
+    def test_backends_bit_identical_across_batch_sizes(self, trained_pair, batch_size):
+        router, loop_router, questions = trained_pair
+        rng = np.random.default_rng(batch_size)
+        picked = [questions[int(i)] for i in
+                  rng.integers(0, len(questions), size=batch_size)]
+        vectorized = router.route_batch(picked)
+        looped = loop_router.route_batch(picked)
+        assert [_route_key(r) for r in vectorized] == [_route_key(r) for r in looped]
+
+    @pytest.mark.parametrize("num_beams,beam_groups", [(1, 1), (4, 2), (6, 6), (8, 1)])
+    def test_backends_bit_identical_across_beam_budgets(self, trained_pair,
+                                                        num_beams, beam_groups):
+        router, _, questions = trained_pair
+        vec = SchemaRouter(graph=router.graph, config=router.config.ablated(
+            num_beams=num_beams, beam_groups=beam_groups))
+        vec.restore(router.model, router.source_vocabulary, router.target_vocabulary)
+        looped = _loop_twin(vec)
+        picked = questions[:6]
+        assert [_route_key(r) for r in vec.route_batch(picked)] == \
+            [_route_key(r) for r in looped.route_batch(picked)]
+
+    def test_backends_agree_without_constraint_or_diversity(self):
+        router, questions = _train_router(17, 4, constrained_decoding=False,
+                                          diverse_beam=False)
+        looped = _loop_twin(router)
+        picked = questions[:8]
+        assert [_route_key(r) for r in router.route_batch(picked)] == \
+            [_route_key(r) for r in looped.route_batch(picked)]
+
+    def test_route_matches_route_batch(self, trained_pair):
+        router, _, questions = trained_pair
+        picked = questions[:5]
+        batched = router.route_batch(picked)
+        for question, expected in zip(picked, batched):
+            assert _route_key(router.route(question)) == _route_key(expected)
+
+    def test_routes_independent_of_batch_composition(self, trained_pair):
+        """End to end (encode + decode), a question's routes are bit-identical
+        no matter which micro-batch it rides in -- the property the route
+        cache and cross-shard merging lean on."""
+        router, _, questions = trained_pair
+        target = questions[0]
+        alone = router.route_batch([target])[0]
+        shuffled = router.route_batch(questions[3:8] + [target, questions[1]])[5]
+        assert _route_key(alone) == _route_key(shuffled)
+
+    def test_empty_and_whitespace_questions_route(self, trained_pair):
+        """Empty input takes the defined pad path on both backends."""
+        router, loop_router, questions = trained_pair
+        batch = ["", "   ", questions[0], "\t\n"]
+        vectorized = router.route_batch(batch)
+        looped = loop_router.route_batch(batch)
+        assert [_route_key(r) for r in vectorized] == [_route_key(r) for r in looped]
+        # Blank questions all reduce to the same pad-token encoding.
+        assert _route_key(vectorized[0]) == _route_key(vectorized[1])
+        assert _route_key(vectorized[0]) == _route_key(vectorized[3])
+
+    def test_checkpoint_round_trips_decode_backend(self, trained_pair, tmp_path):
+        from repro.serving.checkpoint import load_router, save_router
+
+        router, loop_router, questions = trained_pair
+        save_router(loop_router, tmp_path / "loop-ckpt")
+        restored = load_router(tmp_path / "loop-ckpt")
+        assert restored.config.decode_backend == "loop"
+        picked = questions[:4]
+        assert [_route_key(r) for r in restored.route_batch(picked)] == \
+            [_route_key(r) for r in router.route_batch(picked)]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            RouterConfig(decode_backend="turbo")

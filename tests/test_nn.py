@@ -280,6 +280,42 @@ class TestSeq2SeqAndDecoding:
         with pytest.raises(ValueError):
             diverse_beam_search(model, [1], 1, 2, num_beams=5, num_groups=3)
 
+    def test_batch_kernel_row_and_padding_invariance(self, toy_setup):
+        """The bit-exactness contract of ``decode_step_numpy_batch``: each row
+        is unaffected by the other rows in the stack and by zero-padding."""
+        model, source_tokenizer, _, data, _ = toy_setup
+        encoded = model.encode_numpy_batch(
+            [source_tokenizer.encode_text(question) for question, _ in data])
+        hidden = model.config.hidden_dim
+        padded_length = max(item.memory.shape[0] for item in encoded) + 3
+        rows = len(encoded)
+        memory = np.zeros((rows, padded_length, hidden))
+        memory_mask = np.zeros((rows, padded_length), dtype=bool)
+        for row, item in enumerate(encoded):
+            memory[row, : item.memory.shape[0]] = item.memory
+            memory_mask[row, : item.memory.shape[0]] = True
+        states = np.stack([item.state for item in encoded])
+        previous = np.arange(rows, dtype=np.int64) % model.config.target_vocab_size
+        log_probs, new_states = model.decode_step_numpy_batch(
+            memory, memory_mask, states, previous)
+        for row, item in enumerate(encoded):
+            single_log_probs, single_state = model.decode_step_numpy(
+                item, item.state, int(previous[row]))
+            assert np.array_equal(log_probs[row], single_log_probs)
+            assert np.array_equal(new_states[row], single_state)
+
+    def test_encode_empty_source_uses_pad_token(self, toy_setup):
+        model, _, _, _, _ = toy_setup
+        empty = model.encode_numpy([])
+        pad = model.encode_numpy([0])
+        assert np.array_equal(empty.memory, pad.memory)
+        assert np.array_equal(empty.state, pad.state)
+        explicit = model.encode_numpy([], pad_id=2)
+        assert np.array_equal(explicit.memory, model.encode_numpy([2]).memory)
+        batched = model.encode_numpy_batch([[], [1, 2]])
+        assert np.array_equal(batched[0].memory, pad.memory)
+        assert np.array_equal(batched[0].state, pad.state)
+
     def test_trainer_requires_data(self, toy_setup):
         model, _, _, _, _ = toy_setup
         with pytest.raises(ValueError):
