@@ -1,13 +1,23 @@
-"""Decode throughput: the vectorized batched beam engine vs the loop backend.
+"""Decode throughput: the three decode backends over the routing hot path.
 
-Routes the same seeded workload through the same trained router twice -- once
-with ``decode_backend="vectorized"`` (all active beams of a micro-batch
-advance through one stacked kernel call per step) and once with
-``decode_backend="loop"`` (the per-beam reference path) -- in micro-batches of
-``DECODE_BATCH`` questions.  Besides the result table it prints a one-line
-``DECODE_SUMMARY`` JSON (questions/sec per backend, speedup, agreement) for
-the CI bench-smoke lane to scrape, and asserts both the >=2x speedup bar and
-bit-identical routes across backends.
+Routes the same seeded workload through the same trained router once per
+backend -- ``loop`` (the per-beam reference path), ``vectorized`` (the
+stacked bit-exact engine with incremental constraint states), and ``fast``
+(the slot-dense flat-GEMM tier) -- in micro-batches of ``DECODE_BATCH``
+questions.  ``--decode-backends`` (see ``benchmarks/conftest.py``) narrows
+the sweep; ``REPRO_BENCH_REQUESTS`` shrinks the seeded workload for smoke
+lanes.  Each backend is timed as the best of ``ROUNDS`` full passes, with
+rounds *interleaved* across backends so noisy-neighbour windows on a shared
+runner bias every backend equally instead of whichever was on the clock.
+
+Besides the per-backend result table it prints a one-line ``DECODE_SUMMARY``
+JSON (questions/sec, speedup over loop, and top-1 agreement per backend) for
+the CI bench-smoke lane to scrape, and asserts the tier contracts:
+
+* ``vectorized`` must return *bit-identical* routes to ``loop`` (hex-float
+  score keys) at >= 2x its questions/sec;
+* ``fast`` must hold seeded top-1 agreement >= 0.99 against ``vectorized``
+  at >= 1.5x its questions/sec (the flat-GEMM tier gate).
 """
 
 from __future__ import annotations
@@ -19,79 +29,142 @@ import time
 from repro.core.router import SchemaRouter
 from repro.utils.tables import ResultTable
 
-#: Micro-batch size under test (the acceptance bar is pinned at batch 8).
+#: Micro-batch size under test (the acceptance bars are pinned at batch 8).
 DECODE_BATCH = 8
+#: Timed passes per backend; speedup gates use the median of the per-round
+#: paired ratios and the table reports each backend's best pass.
+ROUNDS = 5
 #: ``REPRO_BENCH_REQUESTS`` shrinks the seeded workload for smoke lanes.
-NUM_REQUESTS = int(os.environ.get("REPRO_BENCH_REQUESTS", "160"))
+NUM_REQUESTS = int(os.environ.get("REPRO_BENCH_REQUESTS", "200"))
 
 
 def _route_key(routes) -> list[tuple]:
     return [(route.database, route.tables, route.score.hex()) for route in routes]
 
 
+def _top1(routes) -> str | None:
+    return routes[0].database if routes else None
+
+
 def _clone_with_backend(router: SchemaRouter, backend: str) -> SchemaRouter:
     clone = SchemaRouter(graph=router.graph,
-                        config=router.config.ablated(decode_backend=backend))
+                         config=router.config.ablated(decode_backend=backend))
     clone.restore(router.model, router.source_vocabulary, router.target_vocabulary,
                   router.training_losses)
     return clone
 
 
-def _drive(router: SchemaRouter, batches: list[list[str]]) -> tuple[float, list]:
-    routed = []
+def _one_pass(router: SchemaRouter, batches: list[list[str]]) -> tuple[float, list]:
+    routed: list = []
     started = time.perf_counter()
     for batch in batches:
         routed.extend(router.route_batch(batch))
     return max(time.perf_counter() - started, 1e-9), routed
 
 
-def test_decode_throughput(benchmark, spider_context):
+def test_decode_throughput(benchmark, spider_context, decode_backends):
     questions = [example.question for example in spider_context.test_examples()[:40]]
     workload = [questions[index % len(questions)] for index in range(NUM_REQUESTS)]
     batches = [workload[start:start + DECODE_BATCH]
                for start in range(0, len(workload), DECODE_BATCH)]
 
-    vectorized = _clone_with_backend(spider_context.copilot.router, "vectorized")
-    loop = _clone_with_backend(spider_context.copilot.router, "loop")
-    # Warm both constraint mask caches so the timed runs compare the engines,
-    # not first-touch trie construction.
-    vectorized.route_batch(batches[0])
-    loop.route_batch(batches[0])
+    routers = {backend: _clone_with_backend(spider_context.copilot.router, backend)
+               for backend in decode_backends}
+    # Warm every router (constraint tries, mask caches, parse memos) so the
+    # timed passes compare the engines, not first-touch setup.
+    for router in routers.values():
+        router.route_batch(batches[0])
 
-    loop_elapsed, loop_routes = _drive(loop, batches)
-    report = benchmark.pedantic(lambda: _drive(vectorized, batches),
-                                rounds=1, iterations=1)
-    vectorized_elapsed, vectorized_routes = report
+    # Rounds are interleaved -- every backend runs once per round, so a noisy
+    # neighbour or a thermal dip hits all backends in the same window instead
+    # of skewing whichever happened to be on the clock.  Speedups are judged
+    # on the *median of the per-round paired ratios* (each ratio compares
+    # passes taken back to back), which survives individual polluted rounds;
+    # the table reports each backend's best pass.
+    elapsed: dict[str, float] = {backend: float("inf")
+                                 for backend in decode_backends}
+    routes: dict[str, list] = {}
+    round_times: list[dict[str, float]] = []
 
-    agreement = sum(
-        _route_key(ours) == _route_key(theirs)
-        for ours, theirs in zip(vectorized_routes, loop_routes)
-    ) / max(len(workload), 1)
-    vectorized_qps = len(workload) / vectorized_elapsed
-    loop_qps = len(workload) / loop_elapsed
-    speedup = vectorized_qps / loop_qps
+    def sweep_round() -> None:
+        # The slow loop reference runs only in the first and last rounds
+        # (cheap, but not hostage to a single noisy window); the fallback in
+        # ``median_speedup`` pairs the other rounds against its best pass --
+        # the conservative direction for the >= 2x vectorized gate.
+        this_round: dict[str, float] = {}
+        loop_round = not round_times or len(round_times) == ROUNDS - 1
+        for backend, router in routers.items():
+            if backend == "loop" and not loop_round:
+                continue
+            seconds, routed = _one_pass(router, batches)
+            this_round[backend] = seconds
+            if seconds < elapsed[backend]:
+                elapsed[backend] = seconds
+                routes[backend] = routed
+        round_times.append(this_round)
+
+    benchmark.pedantic(sweep_round, rounds=ROUNDS, iterations=1)
+
+    def median_speedup(name: str, against: str) -> float:
+        ratios = sorted(
+            times.get(against, elapsed[against]) / times[name]
+            for times in round_times if name in times)
+        return ratios[len(ratios) // 2]
+
+    qps = {backend: len(workload) / seconds for backend, seconds in elapsed.items()}
+    reference = routes["loop"]
+
+    def top1_agreement(name: str, against: str) -> float:
+        return sum(
+            _top1(ours) == _top1(theirs)
+            for ours, theirs in zip(routes[name], routes[against])
+        ) / max(len(workload), 1)
 
     table = ResultTable(
-        title=f"Decode throughput: vectorized vs loop backend (batch {DECODE_BATCH})",
-        columns=["backend", "questions_per_sec", "ms_per_question"],
+        title=f"Decode throughput by backend (batch {DECODE_BATCH})",
+        columns=["backend", "questions_per_sec", "ms_per_question",
+                 "speedup_vs_loop", "top1_vs_loop"],
     )
-    table.add_row("loop", round(loop_qps, 1), round(1000.0 / loop_qps, 3))
-    table.add_row("vectorized", round(vectorized_qps, 1), round(1000.0 / vectorized_qps, 3))
+    summary_backends = {}
+    for backend in decode_backends:
+        agreement = top1_agreement(backend, "loop")
+        speedup = median_speedup(backend, "loop")
+        table.add_row(backend, round(qps[backend], 1),
+                      round(1000.0 / qps[backend], 3),
+                      round(speedup, 2), round(agreement, 4))
+        summary_backends[backend] = {
+            "questions_per_sec": round(qps[backend], 1),
+            "speedup_vs_loop": round(speedup, 2),
+            "top1_agreement_vs_loop": round(agreement, 4),
+        }
     print()
     print(table.render())
 
     summary = {
         "workload_questions": len(workload),
         "decode_batch": DECODE_BATCH,
-        "num_beams": vectorized.config.num_beams,
-        "loop_questions_per_sec": round(loop_qps, 1),
-        "vectorized_questions_per_sec": round(vectorized_qps, 1),
-        "speedup": round(speedup, 2),
-        "backend_agreement": round(agreement, 4),
+        "rounds": ROUNDS,
+        "num_beams": spider_context.copilot.router.config.num_beams,
+        "backends": summary_backends,
     }
+    if "vectorized" in routes:
+        bit_identical = all(
+            _route_key(ours) == _route_key(theirs)
+            for ours, theirs in zip(routes["vectorized"], reference)
+        )
+        summary["vectorized_bit_identical_to_loop"] = bit_identical
+    if "fast" in routes and "vectorized" in routes:
+        summary["fast_speedup_vs_vectorized"] = round(
+            median_speedup("fast", "vectorized"), 2)
+        summary["fast_top1_agreement_vs_vectorized"] = round(
+            top1_agreement("fast", "vectorized"), 4)
     print("DECODE_SUMMARY " + json.dumps(summary, sort_keys=True))
 
-    # The backends must agree bit-for-bit, and vectorization must at least
-    # double decode throughput at the acceptance batch size.
-    assert agreement == 1.0, summary
-    assert speedup >= 2.0, summary
+    # Tier contracts (see the module docstring), gated on the *unrounded*
+    # median ratios (the summary values are rounded for display only).
+    if "vectorized" in routes:
+        assert summary["vectorized_bit_identical_to_loop"], summary
+        assert median_speedup("vectorized", "loop") >= 2.0, summary
+    if "fast" in routes and "vectorized" in routes:
+        assert top1_agreement("fast", "vectorized") >= 0.99, summary
+        assert median_speedup("fast", "vectorized") >= 1.5, summary

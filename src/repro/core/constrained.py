@@ -16,6 +16,20 @@ The constraint is exposed as a callable compatible with
 (:meth:`GraphConstrainedDecoding.allowed_mask`) returning cached boolean
 ndarrays over the vocabulary, which the batched decode engine applies with a
 single ``np.where`` instead of iterating Python sets.
+
+Two interpretation paths produce those masks:
+
+* the *prefix-walk oracle*: :meth:`GraphConstrainedDecoding.interpret` re-parses
+  a beam's full prefix (O(len) Python + trie lookups) -- the reference
+  semantics, used by the ``loop`` decode backend and the differential tests;
+* the *incremental path*: each beam carries a :class:`ConstraintState` through
+  the search and pays O(1) per emitted token --
+  :meth:`GraphConstrainedDecoding.advance` consumes one token via the trie
+  cursor API and :meth:`GraphConstrainedDecoding.allowed_mask_for_state`
+  resolves the state's mask without ever touching the prefix again.  The two
+  paths are exactly equivalent by construction (``advance`` mirrors one loop
+  iteration of ``interpret``), which ``tests/test_constrained_incremental.py``
+  enforces differentially.
 """
 
 from __future__ import annotations
@@ -40,6 +54,68 @@ class _DecodedState:
     complete: bool = False  # True when the last token was a separator
 
 
+class ConstraintState:
+    """An incrementally-updatable interpreter state carried by one beam.
+
+    Semantically identical to the :class:`_DecodedState` that
+    :meth:`GraphConstrainedDecoding.interpret` would produce for the beam's
+    prefix, plus two private accelerators: ``node`` -- the trie cursor of the
+    current element's walk in the *commit* trie (the database trie before a
+    database is committed, the database's full table trie after), which makes
+    :meth:`GraphConstrainedDecoding.advance` O(1) per token -- and ``mask``,
+    a memoized reference to the state's allowed-token mask so repeated beams
+    resolve their constraint as one attribute read.
+
+    Instances are immutable from the search's point of view (``advance``
+    returns a new state), so surviving beams may share them freely across
+    groups, questions, and steps.  ``transitions`` memoizes outgoing
+    ``advance`` edges (token -> successor state): beams in different groups
+    repeatedly take the same transitions within a decode, and the memo turns
+    those repeats into one dict hit.  The tree is rooted at the
+    ``initial_state()`` a decode call starts from, so it lives exactly as
+    long as the call's beams and never accumulates across requests.
+    """
+
+    __slots__ = ("database", "tables", "current_words", "complete", "node",
+                 "mask", "transitions")
+
+    def __init__(self, database: str | None, tables: tuple[str, ...],
+                 current_words: tuple[int, ...], complete: bool, node) -> None:
+        self.database = database
+        self.tables = tables
+        self.current_words = current_words
+        self.complete = complete
+        self.node = node
+        self.mask: np.ndarray | None = None
+        self.transitions: dict[int, "ConstraintState"] | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ConstraintState(database={self.database!r}, "
+                f"tables={self.tables!r}, current_words={self.current_words!r}, "
+                f"complete={self.complete!r})")
+
+
+class _MaskEntry:
+    """One cached constraint resolution: the boolean mask + lazy token set.
+
+    The token set is derived from the mask on first request (and only the
+    set-protocol face :meth:`GraphConstrainedDecoding.allowed_tokens` ever
+    asks for it), so mask-only consumers never pay for set construction and
+    set consumers pay for it once per interpreter state instead of per call.
+    """
+
+    __slots__ = ("mask", "_tokens")
+
+    def __init__(self, mask: np.ndarray) -> None:
+        self.mask = mask
+        self._tokens: frozenset[int] | None = None
+
+    def tokens(self) -> frozenset[int]:
+        if self._tokens is None:
+            self._tokens = frozenset(np.flatnonzero(self.mask).tolist())
+        return self._tokens
+
+
 class GraphConstrainedDecoding:
     """Builds the token-level constraint for a schema graph and vocabulary."""
 
@@ -54,15 +130,16 @@ class GraphConstrainedDecoding:
         # Per-database table tries are built lazily and cached.
         self._table_tries: dict[str, PrefixTrie] = {}
         self._table_word_ids: dict[tuple[str, str], tuple[int, ...]] = {}
-        # Boolean allowed-token masks, keyed by the interpreter state a prefix
-        # parses to.  Many prefixes collapse onto one state (every beam inside
-        # a database shares a handful of trie positions), so the cache turns
-        # the per-step constraint from trie walks + set building into one
+        # Allowed-token cache entries (boolean mask + lazily-derived token
+        # set), keyed by the interpreter state a prefix parses to.  Many
+        # prefixes collapse onto one state (every beam inside a database
+        # shares a handful of trie positions), so the cache turns the
+        # per-step constraint from trie walks + set building into one
         # dictionary hit returning a read-only ndarray.  Distinct states are
         # combinatorial in catalog size (ordered table tuples x word-prefix
         # positions), so the cache is bounded: oldest entries are evicted
         # first once ``max_cached_masks`` is reached.
-        self._mask_cache: dict[tuple, np.ndarray] = {}
+        self._mask_cache: dict[tuple, _MaskEntry] = {}
         self.max_cached_masks = 4096
 
     # -- helpers --------------------------------------------------------------
@@ -126,10 +203,78 @@ class GraphConstrainedDecoding:
                                  tables=state.tables + (matches[0],), complete=True)
         return _DecodedState(database=state.database, tables=state.tables, complete=True)
 
+    # -- incremental interpretation --------------------------------------------------
+    def initial_state(self) -> ConstraintState:
+        """The interpreter state of the empty prefix."""
+        return ConstraintState(None, (), (), True, self._database_trie.root())
+
+    def advance(self, state: ConstraintState, token: int) -> ConstraintState:
+        """Consume one emitted token: O(1), no prefix re-walk.
+
+        Exactly mirrors one loop iteration of :meth:`interpret`: a separator
+        after a non-empty element commits it (database first, then tables,
+        matched at the carried trie cursor instead of by a root walk); a
+        separator after an empty element is skipped; any other token -- EOS
+        included -- extends the current element and advances the cursor
+        (``None`` once the walk leaves the trie, exactly like a failed
+        ``node_at``).  Transitions are memoized per state, so beams taking a
+        transition any sibling already took pay one dict hit.
+        """
+        token = int(token)
+        transitions = state.transitions
+        if transitions is None:
+            transitions = state.transitions = {}
+        successor = transitions.get(token)
+        if successor is None:
+            if token == self.vocabulary.sep_id:
+                successor = state if not state.current_words \
+                    else self._commit_state(state)
+            else:
+                successor = ConstraintState(state.database, state.tables,
+                                            state.current_words + (token,), False,
+                                            PrefixTrie.child(state.node, token))
+            transitions[token] = successor
+        return successor
+
+    def _commit_state(self, state: ConstraintState) -> ConstraintState:
+        """Commit the current element (the incremental :meth:`_commit_element`)."""
+        matches = PrefixTrie.node_identifiers(state.node)
+        if state.database is None:
+            if not matches:
+                return self.initial_state()
+            database = matches[0]
+            return ConstraintState(database, (), (), True,
+                                   self._table_trie(database).root())
+        tables = state.tables
+        if matches and matches[0] not in tables:
+            tables = tables + (matches[0],)
+        return ConstraintState(state.database, tables, (), True,
+                               self._table_trie(state.database).root())
+
+    def allowed_mask_for_state(self, state: ConstraintState) -> np.ndarray:
+        """The allowed-token mask of an incrementally-maintained state.
+
+        Resolution order: the state's own memoized reference (one attribute
+        read -- the common case once a beam has been scored before), then the
+        shared per-key cache, then a fresh computation.  Identical to
+        ``allowed_mask(prefix)`` for the prefix the state was advanced over.
+        """
+        mask = state.mask
+        if mask is None:
+            mask = self._mask_entry(state).mask
+            state.mask = mask
+        return mask
+
     # -- the constraint callable ------------------------------------------------------
-    def allowed_tokens(self, prefix: list[int] | tuple[int, ...]) -> set[int] | None:
-        """Token ids allowed after ``prefix`` (the Constraint protocol)."""
-        return self._allowed_for_state(self.interpret(prefix))
+    def allowed_tokens(self, prefix: list[int] | tuple[int, ...]) -> frozenset[int]:
+        """Token ids allowed after ``prefix`` (the Constraint protocol).
+
+        Served from the same per-state cache as :meth:`allowed_mask`: the
+        token set is derived from the cached boolean mask once per interpreter
+        state, instead of rebuilding restricted tries and a fresh Python set
+        on every call.
+        """
+        return self._mask_entry(self.interpret(prefix)).tokens()
 
     def allowed_mask(self, prefix: list[int] | tuple[int, ...]) -> np.ndarray:
         """A boolean mask over the vocabulary of the tokens allowed next.
@@ -139,10 +284,12 @@ class GraphConstrainedDecoding:
         instead of rebuilding restricted tries and Python sets.  The returned
         array is shared and read-only; apply it with ``np.where``.
         """
-        state = self.interpret(prefix)
+        return self._mask_entry(self.interpret(prefix)).mask
+
+    def _mask_entry(self, state: "_DecodedState | ConstraintState") -> _MaskEntry:
         key = (state.database, state.tables, state.current_words, state.complete)
-        mask = self._mask_cache.get(key)
-        if mask is None:
+        entry = self._mask_cache.get(key)
+        if entry is None:
             size = len(self.vocabulary)
             mask = np.zeros(size, dtype=bool)
             # _allowed_for_state never returns an empty set (it falls back to
@@ -153,8 +300,9 @@ class GraphConstrainedDecoding:
             mask.setflags(write=False)
             while len(self._mask_cache) >= self.max_cached_masks:
                 self._mask_cache.pop(next(iter(self._mask_cache)))
-            self._mask_cache[key] = mask
-        return mask
+            entry = _MaskEntry(mask)
+            self._mask_cache[key] = entry
+        return entry
 
     def _allowed_for_state(self, state: _DecodedState) -> set[int]:
         separator = self.vocabulary.sep_id
@@ -185,5 +333,5 @@ class GraphConstrainedDecoding:
             allowed.add(eos)
         return allowed
 
-    def __call__(self, prefix: list[int] | tuple[int, ...]) -> set[int] | None:
+    def __call__(self, prefix: list[int] | tuple[int, ...]) -> frozenset[int]:
         return self.allowed_tokens(prefix)

@@ -59,17 +59,23 @@ class RouterConfig:
     serialization: str = "dfs"
     constrained_decoding: bool = True
     diverse_beam: bool = True
-    #: "vectorized" (default) decodes every question of a batch through the
-    #: stacked beam engine; "loop" keeps the per-beam reference path.  Both
-    #: return bit-identical routes -- the knob exists for differential testing
-    #: and as an escape hatch.
+    #: Decode tier.  "vectorized" (default) decodes every question of a batch
+    #: through the stacked beam engine with the bit-exact kernel; "loop" keeps
+    #: the per-beam reference path (bit-identical to "vectorized" -- the pair
+    #: exists for differential testing and as an escape hatch); "fast" runs
+    #: the same batched search over the flat-GEMM kernel
+    #: (:meth:`repro.nn.seq2seq.Seq2SeqModel.decode_step_numpy_batch_fast`),
+    #: trading bit-identity for tolerance-checked agreement and the highest
+    #: throughput.  The knob round-trips through router and cluster
+    #: checkpoints, so serving fleets and shard workers ride whichever tier
+    #: the checkpoint was saved with.
     decode_backend: str = "vectorized"
     seed: int = 0
 
     def __post_init__(self) -> None:
-        if self.decode_backend not in ("vectorized", "loop"):
+        if self.decode_backend not in ("vectorized", "loop", "fast"):
             raise ValueError(
-                f"decode_backend must be 'vectorized' or 'loop', "
+                f"decode_backend must be 'vectorized', 'loop', or 'fast', "
                 f"got {self.decode_backend!r}")
 
     def ablated(self, **changes: object) -> "RouterConfig":
@@ -164,6 +170,12 @@ class SchemaRouter:
         self._target_vocabulary: Vocabulary | None = None
         self._model: Seq2SeqModel | None = None
         self._constraint: GraphConstrainedDecoding | None = None
+        # Decoded-hypothesis parse memo: token tuple -> (database, tables).
+        # Hypotheses repeat heavily across beams and requests (the catalog is
+        # finite), and parsing re-tokenizes identifier names against the
+        # graph; bounded like the constraint mask cache, oldest-first.
+        self._parse_cache: dict[tuple[int, ...], tuple[str, tuple[str, ...]] | None] = {}
+        self.max_cached_parses = 4096
         self.training_losses: list[float] = []
 
     # -- vocabulary --------------------------------------------------------------
@@ -217,6 +229,7 @@ class SchemaRouter:
         """Train the router on synthetic (question, schema) examples."""
         if not examples:
             raise ValueError("no training examples supplied")
+        self._parse_cache.clear()
         self._build_vocabularies(examples)
         source_tokenizer = WordTokenizer(self.source_vocabulary)
         target_tokenizer = WordTokenizer(self.target_vocabulary)
@@ -260,6 +273,7 @@ class SchemaRouter:
         self._source_vocabulary = source_vocabulary
         self._target_vocabulary = target_vocabulary
         self._model = model
+        self._parse_cache.clear()
         self.training_losses = list(training_losses or [])
         if self.config.constrained_decoding:
             self._constraint = GraphConstrainedDecoding(self.graph, target_vocabulary)
@@ -289,6 +303,10 @@ class SchemaRouter:
         step.  ``decode_backend="loop"`` decodes each question through the
         per-beam reference path instead; both backends -- and per-question
         :meth:`route` calls -- return bit-identical results.
+        ``decode_backend="fast"`` runs the batched engine over the flat-GEMM
+        kernel: same search semantics, highest throughput, scores allowed to
+        drift in the last ulps (tolerance-checked agreement instead of
+        bit-identity).
         """
         if self._model is None:
             raise RuntimeError("the router has not been trained yet")
@@ -328,6 +346,7 @@ class SchemaRouter:
                 num_beams=self.config.num_beams, num_groups=num_groups,
                 diversity_penalty=diversity_penalty,
                 max_length=self.config.max_decode_length, constraint=constraint,
+                kernel="fast" if self.config.decode_backend == "fast" else "exact",
             )
         results: list[list[SchemaRoute]] = []
         for encoded, hypotheses in zip(encoded_batch, hypotheses_batch):
@@ -345,8 +364,15 @@ class SchemaRouter:
         combined: dict[str, SchemaRoute] = {}
         order: list[str] = []
         for hypothesis in hypotheses:
-            tokens = target_tokenizer.decode(hypothesis.tokens)
-            parsed = tokens_to_schema(tokens, self.graph)
+            key = tuple(hypothesis.tokens)
+            if key in self._parse_cache:
+                parsed = self._parse_cache[key]
+            else:
+                tokens = target_tokenizer.decode(hypothesis.tokens)
+                parsed = tokens_to_schema(tokens, self.graph)
+                while len(self._parse_cache) >= self.max_cached_parses:
+                    self._parse_cache.pop(next(iter(self._parse_cache)))
+                self._parse_cache[key] = parsed
             if parsed is None:
                 continue
             database, tables = parsed

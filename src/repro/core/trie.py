@@ -5,6 +5,15 @@ accessible nodes from decoded schema elements" (paper §3.5).  The trie maps
 the word-id decomposition of each accessible identifier to the identifier, so
 that at every decoding step the set of allowed next tokens is the set of trie
 children under the already-decoded word prefix.
+
+Two query styles share the same nodes:
+
+* prefix walks (:meth:`PrefixTrie.node_at` and friends), which re-descend from
+  the root for every query -- the reference-oracle shape;
+* a cursor API (:meth:`PrefixTrie.root` / :meth:`PrefixTrie.child` plus the
+  node-level accessors), which lets incremental callers carry the current
+  node through the search and pay O(1) per consumed token instead of O(len)
+  root re-walks per step.
 """
 
 from __future__ import annotations
@@ -41,6 +50,33 @@ class PrefixTrie:
 
     def __len__(self) -> int:
         return self._size
+
+    # -- cursor API ----------------------------------------------------------
+    def root(self) -> _TrieNode:
+        """The cursor at the empty prefix (``node_at(())``, but O(1))."""
+        return self._root
+
+    @staticmethod
+    def child(node: _TrieNode | None, token_id: int) -> _TrieNode | None:
+        """Advance a cursor by one token; ``None`` stays ``None`` (dead walk)."""
+        if node is None:
+            return None
+        return node.children.get(int(token_id))
+
+    @staticmethod
+    def node_children(node: _TrieNode | None) -> set[int]:
+        """Token ids that extend the cursor (``allowed_next`` at the node)."""
+        return set(node.children.keys()) if node is not None else set()
+
+    @staticmethod
+    def node_is_terminal(node: _TrieNode | None) -> bool:
+        """Whether the cursor spells a complete identifier."""
+        return bool(node and node.terminals)
+
+    @staticmethod
+    def node_identifiers(node: _TrieNode | None) -> list[str]:
+        """Identifiers ending exactly at the cursor."""
+        return list(node.terminals) if node is not None else []
 
     # -- queries -------------------------------------------------------------
     def node_at(self, prefix: Sequence[int]) -> _TrieNode | None:

@@ -14,39 +14,57 @@ uses to obtain varied candidate schemata: beams are split into groups, groups
 are expanded sequentially at each step, and a token already chosen by an
 earlier group at the same step is penalised for later groups.
 
-Two implementations share those semantics:
+Three implementations share those semantics:
 
-* :func:`diverse_beam_search_batch` -- the hot path.  It advances all active
-  beams of all questions in a micro-batch through one
+* :func:`diverse_beam_search_batch` -- the bit-exact hot path.  It advances
+  all active beams of all questions in a micro-batch through one
   :meth:`~repro.nn.seq2seq.Seq2SeqModel.decode_step_numpy_batch` call per
-  (step, group), with bookkeeping (tokens, lengths, scores, states, finished
-  flags) held in flat numpy arrays.
+  step, with bookkeeping (tokens, lengths, scores, states, finished flags)
+  held in flat numpy arrays.
 * :func:`diverse_beam_search_loop` -- the original per-beam Python loop, kept
   as the reference for differential testing
   (``RouterConfig.decode_backend="loop"``).
+* :func:`_diverse_beam_search_batch_dense` -- the throughput tier
+  (``kernel="fast"`` / ``RouterConfig.decode_backend="fast"``): the same
+  search over the slot-dense flat-GEMM kernel, trading bit-identity for
+  tolerance-checked agreement.
 
-Both return *bit-identical* hypotheses: token-for-token the same sequences
-with double-for-double the same scores.  The kernel's bit-exactness contract
-covers the numerics; on the search side both engines break score ties
+The first two return *bit-identical* hypotheses: token-for-token the same
+sequences with double-for-double the same scores.  The kernel's bit-exactness
+contract covers the numerics; on the search side all engines break score ties
 identically -- stable, lowest-token-id-first (``np.argsort(-scores,
 kind="stable")``), never the platform-dependent order an unstable descending
 sort would give -- so candidate selection, and therefore every downstream
 ranking and cross-process merge, is deterministic.
+
+Constraints exposing the incremental-state protocol (``initial_state`` /
+``advance`` / ``allowed_mask_for_state``) are threaded through the batched
+engines: each surviving beam carries an O(1)-updatable interpreter state
+(gathered from its parent on selection), so per-step constraint resolution
+never re-walks a beam's prefix.  The loop reference keeps the prefix-walk
+path, which is exactly what makes it the oracle.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from operator import itemgetter
+from typing import AbstractSet, Callable, Sequence
 
 import numpy as np
 
 from repro.nn.seq2seq import EncodedSource, Seq2SeqModel
 
-#: A constraint maps the decoded prefix to the allowed next token ids
-#: (an empty collection means "only EOS is allowed").
-Constraint = Callable[[Sequence[int]], "set[int] | None"]
+#: A constraint maps the decoded prefix to the allowed next token ids -- any
+#: set-like collection, shared and possibly immutable, so callers must not
+#: mutate it (an empty collection means "only EOS is allowed"; None means
+#: "unconstrained at this prefix").
+Constraint = Callable[[Sequence[int]], "AbstractSet[int] | None"]
+
+#: Candidate tuples rank by their first field (the accumulated score); the
+#: C-implemented getter keeps the hot selection sorts free of Python frames.
+_candidate_score = itemgetter(0)
 
 
 @dataclass
@@ -71,6 +89,25 @@ class _Beam:
     score: float = 0.0
     state: np.ndarray | None = None
     finished: bool = False
+
+
+def _incremental_constraint(constraint: Constraint | None):
+    """The constraint's incremental-state protocol, or ``None``.
+
+    Constraints exposing ``initial_state()`` / ``advance(state, token)`` /
+    ``allowed_mask_for_state(state)`` (see
+    :class:`repro.core.constrained.GraphConstrainedDecoding`) let the batched
+    engines thread an O(1)-updatable interpreter state through every
+    surviving beam instead of re-walking its prefix per step.  Returns the
+    bound ``(initial_state, advance, allowed_mask_for_state)`` triple.
+    """
+    if (constraint is not None
+            and hasattr(constraint, "initial_state")
+            and hasattr(constraint, "advance")
+            and hasattr(constraint, "allowed_mask_for_state")):
+        return (constraint.initial_state, constraint.advance,
+                constraint.allowed_mask_for_state)
+    return None
 
 
 def _constraint_mask(constraint: Constraint | None, prefix: Sequence[int],
@@ -287,7 +324,8 @@ def diverse_beam_search_batch(model: Seq2SeqModel, encoded_batch: "list[EncodedS
                               num_beams: int = 10, num_groups: int = 10,
                               diversity_penalty: float = 2.0, max_length: int = 48,
                               constraint: Constraint | None = None,
-                              length_penalty: float = 0.0) -> list[list[BeamHypothesis]]:
+                              length_penalty: float = 0.0,
+                              kernel: str = "exact") -> list[list[BeamHypothesis]]:
     """Diverse beam search over a whole micro-batch of questions at once.
 
     Per step, the active beams of *all* groups of *all* questions advance
@@ -302,10 +340,36 @@ def diverse_beam_search_batch(model: Seq2SeqModel, encoded_batch: "list[EncodedS
     Beam bookkeeping (tokens, lengths, scores, states, finished flags) lives
     in flat numpy arrays.
 
-    Returns one hypothesis list per question, bit-identical to
-    :func:`diverse_beam_search_loop` on the same inputs.
+    Constraints exposing the incremental-state protocol (``initial_state`` /
+    ``advance`` / ``allowed_mask_for_state``, see
+    :class:`repro.core.constrained.GraphConstrainedDecoding`) are threaded
+    through the search: each surviving beam carries an O(1)-updatable
+    interpreter state (gathered from its parent on selection), so per-step
+    constraint resolution never re-walks a beam's prefix.  Other constraints
+    fall back to the prefix-walk path with a per-call prefix->mask memo.
+
+    ``kernel`` selects the decode tier: ``"exact"`` (the default) keeps the
+    bit-exactness contract of
+    :meth:`~repro.nn.seq2seq.Seq2SeqModel.decode_step_numpy_batch` with
+    per-step row gathers; ``"fast"`` dispatches to the slot-dense engine
+    (:func:`_diverse_beam_search_batch_dense` over
+    :meth:`~repro.nn.seq2seq.Seq2SeqModel.decode_step_numpy_batch_fast`) --
+    true flat GEMMs, batched attention, resident buffers, last-ulp drift
+    allowed.  Search semantics (diversity, tie-breaking, selection order) are
+    identical under either kernel.
+
+    With the exact kernel, returns one hypothesis list per question,
+    bit-identical to :func:`diverse_beam_search_loop` on the same inputs.
     """
     beams_per_group = _validate_beam_budget(num_beams, num_groups)
+    if kernel == "fast":
+        return _diverse_beam_search_batch_dense(
+            model, encoded_batch, bos_id, eos_id,
+            num_beams=num_beams, num_groups=num_groups,
+            diversity_penalty=diversity_penalty, max_length=max_length,
+            constraint=constraint, length_penalty=length_penalty)
+    if kernel != "exact":
+        raise ValueError(f"kernel must be 'exact' or 'fast', got {kernel!r}")
     num_questions = len(encoded_batch)
     if num_questions == 0:
         return []
@@ -337,7 +401,23 @@ def diverse_beam_search_batch(model: Seq2SeqModel, encoded_batch: "list[EncodedS
     for question, encoded in enumerate(encoded_batch):
         states[question, :, 0] = encoded.state
 
-    top_n = max(beams_per_group * 2, 2)
+    # Incremental constraint interpretation: beams carry interpreter states
+    # (shared, immutable) in parallel Python lists mirroring the numpy
+    # bookkeeping.  All slots start at the (single, shared) empty-prefix
+    # state; slots beyond ``alive`` are never read.
+    incremental = _incremental_constraint(constraint)
+    if incremental:
+        initial_state, advance_state, mask_for_state = incremental
+        start_state = initial_state()
+        constraint_states: list[list[list]] = [
+            [[start_state] * beams_per_group for _ in range(num_groups)]
+            for _ in range(num_questions)
+        ]
+
+    # Clamped to the vocabulary: argsort slices truncate at V anyway (the
+    # loop backend's behavior), and the candidate loops must not read
+    # positions that do not exist when V < 2 * beams_per_group.
+    top_n = min(max(beams_per_group * 2, 2), vocab_size)
     # Scratch buffers reused by every (question, group) selection write-back.
     # Slots beyond a beam's recorded length may hold stale tokens; no reader
     # ever looks past ``lengths``.
@@ -346,9 +426,7 @@ def diverse_beam_search_batch(model: Seq2SeqModel, encoded_batch: "list[EncodedS
     scratch_scores = np.zeros(beams_per_group, dtype=np.float64)
     scratch_states = np.zeros((beams_per_group, hidden), dtype=np.float64)
     scratch_finished = np.zeros(beams_per_group, dtype=bool)
-
-    def score_of(candidate: tuple) -> float:
-        return candidate[0]
+    scratch_cstates: list = [None] * beams_per_group
 
     for _ in range(max_length):
         # Python-list snapshots of the step-start bookkeeping: selection only
@@ -397,7 +475,17 @@ def diverse_beam_search_batch(model: Seq2SeqModel, encoded_batch: "list[EncodedS
             states[question_index, group_index, beam_index], previous,
             augmented_memory=augmented_memory[question_index])
 
-        if constraint is not None:
+        if incremental:
+            # Each row's interpreter state already knows (or memoizes on
+            # first touch) its allowed mask: no prefix materialization, no
+            # trie walks, one attribute/dict hit per row.
+            row_masks = np.empty_like(log_probabilities, dtype=bool)
+            for row, (question, group, beam) in enumerate(
+                    zip(row_question, row_group, row_beam)):
+                row_masks[row] = mask_for_state(
+                    constraint_states[question][group][beam])
+            log_probabilities = np.where(row_masks, log_probabilities, -np.inf)
+        elif constraint is not None:
             # Constraints are pure functions of the prefix, so rows sharing a
             # prefix (e.g. every group at step 0) share one mask lookup.
             row_masks = np.ones_like(log_probabilities, dtype=bool)
@@ -482,8 +570,10 @@ def diverse_beam_search_batch(model: Seq2SeqModel, encoded_batch: "list[EncodedS
                                            start + block_row))
                 if not candidates or not has_active:
                     continue
-                candidates.sort(key=score_of, reverse=True)
+                candidates.sort(key=_candidate_score, reverse=True)
                 selected = candidates[:beams_per_group]
+                group_states = constraint_states[question][group] if incremental \
+                    else None
                 for slot, (score, token, parent, row) in enumerate(selected):
                     parent_length = lengths_list[question][group][parent]
                     scratch_tokens[slot, :parent_length] = \
@@ -494,12 +584,21 @@ def diverse_beam_search_batch(model: Seq2SeqModel, encoded_batch: "list[EncodedS
                         scratch_scores[slot] = question_scores[parent]
                         scratch_states[slot] = states[question, group, parent]
                         scratch_finished[slot] = True
+                        if group_states is not None:
+                            scratch_cstates[slot] = group_states[parent]
                         continue
                     scratch_tokens[slot, parent_length] = token
                     scratch_lengths[slot] = parent_length + 1
                     scratch_scores[slot] = score
                     scratch_states[slot] = step_states[row]
                     scratch_finished[slot] = token == eos_id
+                    if group_states is not None:
+                        # Gather the parent's interpreter state and advance it
+                        # by the emitted token; a beam finishing on EOS keeps
+                        # its parent state (its mask is never consulted again).
+                        scratch_cstates[slot] = group_states[parent] \
+                            if token == eos_id \
+                            else advance_state(group_states[parent], token)
                     if token != eos_id:
                         chosen[question][token] = chosen[question].get(token, 0) + 1
                 count = len(selected)
@@ -509,6 +608,8 @@ def diverse_beam_search_batch(model: Seq2SeqModel, encoded_batch: "list[EncodedS
                 states[question, group, :count] = scratch_states[:count]
                 finished[question, group, :count] = scratch_finished[:count]
                 alive[question, group] = count
+                if group_states is not None:
+                    constraint_states[question][group] = scratch_cstates[:count]
 
     results: list[list[BeamHypothesis]] = []
     for question in range(num_questions):
@@ -521,6 +622,379 @@ def diverse_beam_search_batch(model: Seq2SeqModel, encoded_batch: "list[EncodedS
                     tokens=tokens[question, group, beam, :length].tolist(),
                     score=float(scores[question, group, beam]),
                     finished=bool(finished[question, group, beam])))
+            groups_out.append(group_beams)
+        results.append(_finalize_groups(groups_out, eos_id, length_penalty, num_beams))
+    return results
+
+
+def _diverse_beam_search_batch_dense(model: Seq2SeqModel,
+                                     encoded_batch: "list[EncodedSource]",
+                                     bos_id: int, eos_id: int,
+                                     num_beams: int, num_groups: int,
+                                     diversity_penalty: float, max_length: int,
+                                     constraint: Constraint | None,
+                                     length_penalty: float
+                                     ) -> list[list[BeamHypothesis]]:
+    """The ``fast`` decode tier: slot-dense diverse beam search.
+
+    Identical search semantics to :func:`diverse_beam_search_batch` (group-
+    sequential Hamming diversity, unpenalised candidate ranking, stable
+    lowest-token-id-first tie-breaking, finished-beam pass-through), but
+    organised for throughput instead of bit-exactness:
+
+    * every ``(question, group, slot)`` of the beam grid advances through
+      :meth:`~repro.nn.seq2seq.Seq2SeqModel.decode_step_numpy_batch_fast`
+      each step -- flat GEMMs over all ``Q*G*B`` slots, batched per-question
+      attention -- with states, previous tokens, and constraint masks kept
+      *resident* in preallocated arrays, so steps perform no row gathers and
+      no stacking; finished or unused slots ride along (their outputs are
+      simply never read) rather than being compacted away;
+    * groups still *select* sequentially within a step (Hamming diversity
+      demands it; tallies live in one ``(Q, V)`` count array), but their
+      selections are only recorded -- parent index, appended token, new
+      score per slot -- and the grid is committed once per step with one set
+      of whole-``(G, Q, B)`` gather/scatter ops instead of per-group writes.
+
+    Numerically the fast kernel may drift from the exact one in the last
+    ulps (flat GEMMs are not row-stable), so this tier's contract is
+    tolerance-checked top-1 agreement, not bit-identity -- see
+    ``RouterConfig.decode_backend`` and ``benchmarks/bench_decode_throughput``.
+    Incremental constraint states are threaded through beams exactly as in
+    the exact engine; non-incremental constraints fall back to prefix masks.
+    """
+    beams_per_group = _validate_beam_budget(num_beams, num_groups)
+    num_questions = len(encoded_batch)
+    if num_questions == 0:
+        return []
+    hidden = encoded_batch[0].state.shape[0]
+    vocab_size = model.config.target_vocab_size
+    padded_length = max(encoded.memory.shape[0] for encoded in encoded_batch)
+    memory = np.zeros((num_questions, padded_length, hidden))
+    memory_mask = np.zeros((num_questions, padded_length), dtype=bool)
+    for question, encoded in enumerate(encoded_batch):
+        true_length = encoded.memory.shape[0]
+        memory[question, :true_length] = encoded.memory
+        memory_mask[question, :true_length] = np.asarray(encoded.mask) != 0.0
+
+    # The resident beam grid.  Unlike the exact engine, *every* slot is
+    # initialised (not just slot 0): dead slots keep flowing finite values
+    # through the dense kernel, and ``alive``/``finished`` decide what is
+    # actually read.
+    shape = (num_questions, num_groups, beams_per_group)
+    slots = num_groups * beams_per_group
+    tokens = np.zeros(shape + (max_length,), dtype=np.int64)
+    lengths = np.zeros(shape, dtype=np.int64)
+    scores = np.zeros(shape, dtype=np.float64)
+    states = np.zeros(shape + (hidden,), dtype=np.float64)
+    finished = np.zeros(shape, dtype=bool)
+    alive = np.ones((num_questions, num_groups), dtype=np.int64)
+    for question, encoded in enumerate(encoded_batch):
+        states[question] = encoded.state
+    # Flat (Q, S, ...) views over the same buffers for the kernel call and
+    # the per-step previous-token derivation.
+    flat_tokens = tokens.reshape(num_questions, slots, max_length)
+    flat_lengths = lengths.reshape(num_questions, slots)
+    flat_states = states.reshape(num_questions, slots, hidden)
+    # Per-step Hamming tallies: counts[q, v] = how many earlier groups chose
+    # token v for question q this step.  dp * count reproduces the exact
+    # engine's penalty doubles bit-for-bit (both compute dp * n once).
+    counts = np.zeros((num_questions, vocab_size), dtype=np.float64)
+    beam_arange = np.arange(beams_per_group)
+    question_arange = np.arange(num_questions)[:, None]
+    slot_arange = np.arange(slots)[None, :]
+    # Broadcast index helpers for the whole-grid (G, Q, B) commit: direct
+    # fancy indexing beats the functional take/put_along_axis wrappers at
+    # these shapes.
+    question_index3 = np.arange(num_questions)[:, None, None]   # (Q, 1, 1)
+    beam_index3 = beam_arange[None, :, None]                    # (1, B, 1)
+    group_index3 = np.arange(num_groups)[:, None, None]         # (G, 1, 1)
+    question_index_mid = np.arange(num_questions)[None, :, None]  # (1, Q, 1)
+    beam_index_last = beam_arange[None, None, :]                  # (1, 1, B)
+    input_table = model.fast_input_table()
+    memory_t = np.ascontiguousarray(memory.transpose(0, 2, 1))    # (Q, h, T)
+
+    incremental = _incremental_constraint(constraint)
+    if constraint is not None:
+        # Resident dense mask grid; stale rows belong to dead slots and are
+        # never read.  With an incremental constraint the grid is maintained
+        # at selection time (a beam's mask only changes when its state
+        # does), folded into the same loop that advances interpreter states;
+        # prefix-walk constraints refill active rows before each step.
+        row_masks = np.ones(shape + (vocab_size,), dtype=bool)
+    if incremental:
+        initial_state, advance_state, mask_for_state = incremental
+        start_state = initial_state()
+        constraint_states: list[list[list]] = [
+            [[start_state] * beams_per_group for _ in range(num_groups)]
+            for _ in range(num_questions)
+        ]
+        row_masks[:] = mask_for_state(start_state)
+
+    # Clamped to the vocabulary: argsort slices truncate at V anyway (the
+    # loop backend's behavior), and the candidate loops must not read
+    # positions that do not exist when V < 2 * beams_per_group.
+    top_n = min(max(beams_per_group * 2, 2), vocab_size)
+    # Shared "keep this slot untouched" selection rows (read-only): parent =
+    # own index, token marker -2.  Markers: >= 0 appends that token to the
+    # parent, -1 passes a finished parent through, -2 keeps the slot as-is.
+    keep_parents = list(range(beams_per_group))
+    keep_tokens = [-2] * beams_per_group
+    keep_scores = [0.0] * beams_per_group
+    keep_parents_block = [keep_parents] * num_questions
+    keep_tokens_block = [keep_tokens] * num_questions
+    keep_scores_block = [keep_scores] * num_questions
+
+    # Question-level compaction: once every group of a question has finished,
+    # its beams are final -- bank them and shrink every per-question buffer,
+    # so the tail of a decode (a few stragglers of a large batch) stops
+    # paying dense-kernel flops for questions that are already done.
+    question_ids = list(range(num_questions))
+    banked: dict[int, tuple] = {}
+
+    for _ in range(max_length):
+        active = ~finished & (beam_arange < alive[:, :, None])   # (Q, G, B)
+        if not active.any():
+            break
+        live = active.any(axis=(1, 2))                           # (Q,)
+        if not live.all():
+            for question in np.nonzero(~live)[0].tolist():
+                banked[question_ids[question]] = (
+                    tokens[question].copy(), lengths[question].copy(),
+                    scores[question].copy(), finished[question].copy(),
+                    alive[question].copy())
+            kept = np.nonzero(live)[0]
+            kept_list = kept.tolist()
+            question_ids = [question_ids[question] for question in kept_list]
+            if incremental:
+                constraint_states = [constraint_states[question]
+                                     for question in kept_list]
+            memory = memory[kept]
+            memory_mask = memory_mask[kept]
+            memory_t = np.ascontiguousarray(memory_t[kept])
+            tokens = tokens[kept]
+            lengths = lengths[kept]
+            scores = scores[kept]
+            states = states[kept]
+            finished = finished[kept]
+            alive = alive[kept]
+            active = active[kept]
+            counts = counts[kept]
+            if constraint is not None:
+                row_masks = row_masks[kept]
+            num_questions = len(kept_list)
+            shape = (num_questions, num_groups, beams_per_group)
+            flat_tokens = tokens.reshape(num_questions, slots, max_length)
+            flat_lengths = lengths.reshape(num_questions, slots)
+            flat_states = states.reshape(num_questions, slots, hidden)
+            question_arange = np.arange(num_questions)[:, None]
+            question_index3 = question_arange[:, :, None]
+            question_index_mid = np.arange(num_questions)[None, :, None]
+            keep_parents_block = [keep_parents] * num_questions
+            keep_tokens_block = [keep_tokens] * num_questions
+            keep_scores_block = [keep_scores] * num_questions
+        # Python-list snapshots of the step-start bookkeeping, exactly like
+        # the exact engine: selection only ever reads pre-step values (the
+        # whole-grid commit below is the sole writer, and it runs after all
+        # groups have selected).
+        alive_list = alive.tolist()
+        finished_list = finished.tolist()
+        scores_list = scores.tolist()
+
+        if constraint is not None and not incremental:
+            lengths_list = lengths.tolist()
+            mask_memo: dict[tuple[int, ...], np.ndarray | None] = {}
+            for question in range(num_questions):
+                for group in range(num_groups):
+                    group_finished = finished_list[question][group]
+                    for beam in range(alive_list[question][group]):
+                        if group_finished[beam]:
+                            continue
+                        key = tuple(tokens[
+                            question, group, beam,
+                            :lengths_list[question][group][beam]].tolist())
+                        mask = mask_memo.get(key)
+                        if key not in mask_memo:
+                            mask = _constraint_mask(constraint, key,
+                                                    vocab_size, eos_id)
+                            mask_memo[key] = mask
+                        if mask is not None:
+                            row_masks[question, group, beam] = mask
+                        else:
+                            # None means "unconstrained at this prefix": the
+                            # resident row may hold a stale restrictive mask
+                            # (an earlier step, or another beam after a slot
+                            # permutation) and must be reopened.
+                            row_masks[question, group, beam] = True
+
+        # One dense kernel call: all slots of all groups of all questions.
+        # Previous tokens are derived in place from the resident grid (each
+        # slot's last recorded token, BOS before any) -- no per-group upkeep.
+        previous = np.where(
+            flat_lengths > 0,
+            flat_tokens[question_arange, slot_arange,
+                        np.maximum(flat_lengths - 1, 0)],
+            bos_id)
+        log_probabilities, step_states = model.decode_step_numpy_batch_fast(
+            memory, memory_mask, flat_states, previous,
+            input_table=input_table, memory_t=memory_t)
+        log_probabilities = log_probabilities.reshape(shape + (vocab_size,))
+        if constraint is not None:
+            log_probabilities = np.where(row_masks, log_probabilities, -np.inf)
+
+        # Group-sequential selection.  Each group contributes one (Q, B) row
+        # set of (parent, token, score) decisions; groups that select nothing
+        # keep the shared keep-blocks (read-only, so aliasing is safe).
+        counts[:] = 0.0
+        any_chosen = False
+        step_parents = [keep_parents_block] * num_groups
+        step_tokens = [keep_tokens_block] * num_groups
+        step_scores = [keep_scores_block] * num_groups
+        step_alive = [[alive_list[question][group]
+                       for question in range(num_questions)]
+                      for group in range(num_groups)]
+        group_has_active = active.any(axis=(0, 2)).tolist()       # (G,)
+        for group in range(num_groups):
+            if not group_has_active[group]:
+                continue
+            block = log_probabilities[:, group]                    # (Q, B, V)
+            if diversity_penalty > 0.0 and any_chosen:
+                scored = block - (diversity_penalty * counts)[:, None, :]
+            else:
+                scored = block
+            # One stable descending argsort over the group's dense block:
+            # ties resolve lowest-token-id-first, identically to the exact
+            # engine (dead rows are sorted too, and ignored below).
+            order = np.argsort(-scored, axis=2, kind="stable")[:, :, :top_n]
+            values = block[question_index3, beam_index3, order]
+            order_list = order.tolist()
+            values_list = values.tolist()
+            finite_list = np.isfinite(values).tolist()
+
+            group_parents = None
+            for question in range(num_questions):
+                candidates: list[tuple[float, int, int, int]] = []
+                has_active = False
+                question_scores = scores_list[question][group]
+                question_finished = finished_list[question][group]
+                question_values = values_list[question]
+                question_order = order_list[question]
+                question_finite = finite_list[question]
+                for beam in range(alive_list[question][group]):
+                    if question_finished[beam]:
+                        candidates.append((question_scores[beam], -1, beam, -1))
+                        continue
+                    has_active = True
+                    parent_score = question_scores[beam]
+                    row_values = question_values[beam]
+                    row_order = question_order[beam]
+                    row_finite = question_finite[beam]
+                    for position in range(top_n):
+                        if not row_finite[position]:
+                            continue
+                        candidates.append((parent_score + row_values[position],
+                                           row_order[position], beam, beam))
+                if not candidates or not has_active:
+                    continue
+                if group_parents is None:
+                    group_parents = list(keep_parents_block)
+                    group_tokens = list(keep_tokens_block)
+                    group_scores = list(keep_scores_block)
+                    step_parents[group] = group_parents
+                    step_tokens[group] = group_tokens
+                    step_scores[group] = group_scores
+                candidates.sort(key=_candidate_score, reverse=True)
+                selected = candidates[:beams_per_group]
+                parents_row = list(keep_parents)
+                tokens_row = list(keep_tokens)
+                scores_row = list(keep_scores)
+                group_parents[question] = parents_row
+                group_tokens[question] = tokens_row
+                group_scores[question] = scores_row
+                step_alive[group][question] = len(selected)
+                group_states = constraint_states[question][group] if incremental \
+                    else None
+                new_cstates = [None] * len(selected) if group_states is not None \
+                    else None
+                for slot, (score, token, parent, _) in enumerate(selected):
+                    parents_row[slot] = parent
+                    if token < 0:
+                        # A finished beam passing through unchanged.
+                        tokens_row[slot] = -1
+                        if group_states is not None:
+                            new_cstates[slot] = group_states[parent]
+                        continue
+                    tokens_row[slot] = token
+                    scores_row[slot] = score
+                    if group_states is not None:
+                        if token == eos_id:
+                            new_cstates[slot] = group_states[parent]
+                        else:
+                            new_state = advance_state(group_states[parent], token)
+                            new_cstates[slot] = new_state
+                            row_masks[question, group, slot] = \
+                                mask_for_state(new_state)
+                    if token != eos_id:
+                        counts[question, token] += 1.0
+                        any_chosen = True
+                if group_states is not None:
+                    constraint_states[question][group] = new_cstates
+
+        # Whole-grid commit: one set of (G, Q, B) gathers/scatters applies
+        # every group's recorded selection at once.  Keep-slots gather
+        # themselves (their append mask is off, so the token write below is
+        # a clamped self-overwrite); slots past ``alive`` hold gathered
+        # leftovers no reader ever looks at.
+        parents = np.asarray(step_parents, dtype=np.int64)        # (G, Q, B)
+        chosen_tokens = np.asarray(step_tokens, dtype=np.int64)   # (G, Q, B)
+        chosen_scores = np.asarray(step_scores, dtype=np.float64)
+        append = chosen_tokens >= 0
+        tokens_t = tokens.transpose(1, 0, 2, 3)                   # (G, Q, B, L) view
+        lengths_t = lengths.transpose(1, 0, 2)
+        scores_t = scores.transpose(1, 0, 2)
+        states_t = states.transpose(1, 0, 2, 3)
+        finished_t = finished.transpose(1, 0, 2)
+        step_states_t = step_states.reshape(shape + (hidden,)).transpose(1, 0, 2, 3)
+        gathered_tokens = tokens_t[group_index3, question_index_mid, parents]
+        parent_lengths = lengths_t[group_index3, question_index_mid, parents]
+        write_at = np.minimum(parent_lengths, max_length - 1)
+        write_values = np.where(
+            append, chosen_tokens,
+            gathered_tokens[group_index3, question_index_mid,
+                            beam_index_last, write_at])
+        gathered_tokens[group_index3, question_index_mid,
+                        beam_index_last, write_at] = write_values
+        tokens_t[:] = gathered_tokens
+        lengths_t[:] = parent_lengths + append
+        scores_t[:] = np.where(
+            append, chosen_scores,
+            scores_t[group_index3, question_index_mid, parents])
+        states_t[:] = np.where(
+            append[:, :, :, None],
+            step_states_t[group_index3, question_index_mid, parents],
+            states_t[group_index3, question_index_mid, parents])
+        finished_t[:] = np.where(
+            append, chosen_tokens == eos_id,
+            finished_t[group_index3, question_index_mid, parents])
+        alive[:] = np.asarray(step_alive, dtype=np.int64).T
+
+    # Bank whatever is still resident, then emit every question's beams in
+    # the original batch order (compaction may have reordered the grid).
+    for question, original in enumerate(question_ids):
+        banked[original] = (tokens[question], lengths[question],
+                            scores[question], finished[question],
+                            alive[question])
+    results: list[list[BeamHypothesis]] = []
+    for original in range(len(encoded_batch)):
+        q_tokens, q_lengths, q_scores, q_finished, q_alive = banked[original]
+        groups_out: list[list[_Beam]] = []
+        for group in range(num_groups):
+            group_beams: list[_Beam] = []
+            for beam in range(q_alive[group]):
+                length = int(q_lengths[group, beam])
+                group_beams.append(_Beam(
+                    tokens=q_tokens[group, beam, :length].tolist(),
+                    score=float(q_scores[group, beam]),
+                    finished=bool(q_finished[group, beam])))
             groups_out.append(group_beams)
         results.append(_finalize_groups(groups_out, eos_id, length_penalty, num_beams))
     return results

@@ -19,6 +19,9 @@ beams -- across questions -- in one stacked step;
 keeps a strict bit-exactness contract (see its docstring): a beam produces the
 same doubles whether it is decoded alone or stacked into a batch, which is
 what lets the vectorized and loop decode backends return identical routes.
+:meth:`Seq2SeqModel.decode_step_numpy_batch_fast` is its throughput-first
+sibling (the ``fast`` decode tier): slot-dense flat GEMMs and batched
+attention, same math, no row-stability guarantee.
 """
 
 from __future__ import annotations
@@ -277,3 +280,85 @@ class Seq2SeqModel(Module):
         logits = logits - logits.max(axis=1, keepdims=True)
         log_probabilities = logits - np.log(np.exp(logits).sum(axis=1, keepdims=True))
         return log_probabilities, new_states
+
+    def fast_input_table(self) -> np.ndarray:
+        """The fused ``(V, h)`` previous-token table for the fast kernel.
+
+        ``embedding @ W_in + b_hh`` precomputed for every vocabulary entry,
+        so each fast step replaces an embedding gather, a GEMM, and two bias
+        adds with a single table gather.  Computed fresh on each call (one
+        small ``(V, d) @ (d, h)`` GEMM) -- hot callers grab it once per
+        decode and pass it to every step, which keeps it trivially coherent
+        with the live weights.
+        """
+        return (self.target_embedding.weight.data
+                @ self.input_projection.weight.data
+                + self.recurrent_projection.bias.data)
+
+    def decode_step_numpy_batch_fast(self, memory: np.ndarray, memory_mask: np.ndarray,
+                                     states: np.ndarray, previous_ids: np.ndarray,
+                                     input_table: np.ndarray | None = None,
+                                     memory_t: np.ndarray | None = None
+                                     ) -> tuple[np.ndarray, np.ndarray]:
+        """The throughput-first, slot-dense sibling of
+        :meth:`decode_step_numpy_batch`.
+
+        Advances ``S`` beam slots of each of ``Q`` questions at once:
+        ``memory`` is ``(Q, T, h)`` (zero-padded along ``T``), ``memory_mask``
+        ``(Q, T)`` bool, ``states`` ``(Q, S, h)``, ``previous_ids`` ``(Q,
+        S)``.  Returns (log-probabilities ``(Q, S, V)``, new states ``(Q, S,
+        h)``).  Same math as the exact kernel, but every fixed-dimension
+        projection runs as one true flat ``(Q*S, k) @ (k, n)`` GEMM (the
+        ``(Q*S, h) @ (h, V)`` output projection is the dominant cost) and
+        attention contracts as batched ``(Q, S, h) @ (Q, h, T)`` / ``(Q, S,
+        T) @ (Q, T, h)`` matmuls with an ordinary row-sum softmax normalizer
+        -- no per-row ``(R, 1, k)`` slice stabilization, no padding-exact
+        einsum forms, and crucially no per-step row gathers: callers keep
+        their slot grid resident and hand the kernel whole-array views.
+
+        That freedom is exactly what breaks the exact kernel's bit-exactness
+        contract: BLAS picks different micro-kernels (different partial-sum
+        regroupings) for different row counts, so a beam's doubles may drift
+        in the last ulps with batch composition.  The ``fast`` decode backend
+        therefore trades bit-identity for *tolerance-checked* agreement
+        (seeded top-1 agreement gates in
+        ``benchmarks/bench_decode_throughput.py`` and CI); anything that must
+        be reproducible to the bit stays on :meth:`decode_step_numpy_batch`.
+        ``input_table`` is the :meth:`fast_input_table` fusion of the
+        previous-token embedding and input projection, and ``memory_t`` a
+        C-contiguous ``(Q, h, T)`` transpose of ``memory``; hot callers
+        compute both once per decode, and they are rebuilt here when absent.
+        """
+        questions, slots, hidden = states.shape
+        flat_states = states.reshape(questions * slots, hidden)
+        if input_table is None:
+            input_table = self.fast_input_table()
+        if memory_t is None:
+            memory_t = np.ascontiguousarray(memory.transpose(0, 2, 1))
+        new_states = np.tanh(
+            input_table[previous_ids.reshape(-1)]
+            + flat_states @ self.recurrent_projection.weight.data)              # (Q*S, h)
+        states3 = new_states.reshape(questions, slots, hidden)
+
+        scores = np.matmul(states3, memory_t)                                   # (Q, S, T)
+        if not memory_mask.all():
+            scores = np.where(memory_mask[:, None, :], scores, -np.inf)
+        # Both attention operands are tanh outputs, so |score| <= hidden and
+        # the exp cannot overflow at ordinary widths -- the max-subtraction
+        # is only needed (and only paid) when hidden approaches the float64
+        # exp limit of ~709.
+        if hidden > 512:
+            scores = scores - scores.max(axis=2, keepdims=True)
+        attention = np.exp(scores)                                              # pads -> 0.0
+        attention /= attention.sum(axis=2, keepdims=True)
+        context = np.matmul(attention, memory)                                  # (Q, S, h)
+
+        combined = np.tanh(
+            np.concatenate([new_states, context.reshape(-1, hidden)], axis=1)
+            @ self.combine_projection.weight.data
+            + self.combine_projection.bias.data)                                # (Q*S, h)
+        logits = combined @ self.output_projection.weight.data \
+            + self.output_projection.bias.data                                  # (Q*S, V)
+        logits = logits - logits.max(axis=1, keepdims=True)
+        log_probabilities = logits - np.log(np.exp(logits).sum(axis=1, keepdims=True))
+        return (log_probabilities.reshape(questions, slots, -1), states3)

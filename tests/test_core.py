@@ -170,6 +170,21 @@ class TestTrieAndConstrainedDecoding:
         assert trie.allowed_next([9]) == set()
         assert len(trie) == 2
 
+    def test_prefix_trie_cursor_api_matches_prefix_walks(self):
+        """The O(1) cursor accessors agree with the root re-walk queries at
+        every position, including dead (off-trie) cursors."""
+        trie = PrefixTrie()
+        trie.insert([1, 2], "ab")
+        trie.insert([1, 3], "ac")
+        trie.insert([4], "d")
+        for prefix in ([], [1], [1, 2], [1, 3], [4], [9], [1, 9], [1, 2, 9]):
+            node = trie.root()
+            for token in prefix:
+                node = PrefixTrie.child(node, token)
+            assert PrefixTrie.node_children(node) == trie.allowed_next(prefix)
+            assert PrefixTrie.node_is_terminal(node) == trie.is_terminal(prefix)
+            assert PrefixTrie.node_identifiers(node) == trie.identifiers_at(prefix)
+
     @pytest.fixture
     def constrained(self, graph):
         vocabulary = Vocabulary()

@@ -132,6 +132,27 @@ class TestEngineDifferential:
             diverse_beam_search_batch(model, encoded, vocabulary.bos_id,
                                       vocabulary.eos_id, num_beams=5, num_groups=3)
 
+    @pytest.mark.parametrize("kernel", ["exact", "fast"])
+    def test_beam_budget_wider_than_vocabulary(self, toy_model, kernel):
+        """top_n clamps at V: a beam budget wider than the target vocabulary
+        must decode (matching the loop backend's slice-truncation), not
+        overrun the candidate rows."""
+        model, vocabulary, encoded = toy_model
+        vocab_size = model.config.target_vocab_size
+        num_beams = vocab_size + 4  # top_n would exceed V unclamped
+        batched = diverse_beam_search_batch(
+            model, encoded[:2], vocabulary.bos_id, vocabulary.eos_id,
+            num_beams=num_beams, num_groups=1, max_length=6, kernel=kernel)
+        looped = [diverse_beam_search_loop(
+            model, (), vocabulary.bos_id, vocabulary.eos_id,
+            num_beams=num_beams, num_groups=1, max_length=6, encoded=item)
+            for item in encoded[:2]]
+        for one, reference in zip(batched, looped):
+            assert [h.tokens for h in one] == [h.tokens for h in reference]
+            if kernel == "exact":
+                assert [_hypothesis_key(h) for h in one] == \
+                    [_hypothesis_key(h) for h in reference]
+
     def test_batch_composition_invariance(self, toy_model):
         """A question decodes identically alone, in pairs, and in the full
         batch -- the property route caches and shard merges rely on."""
@@ -264,3 +285,171 @@ class TestRouterDifferential:
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError):
             RouterConfig(decode_backend="turbo")
+
+
+# ---------------------------------------------------------------------------
+# The fast tier: flat-GEMM slot-dense decoding, tolerance-checked agreement.
+# ---------------------------------------------------------------------------
+def _fast_twin(router: SchemaRouter) -> SchemaRouter:
+    twin = SchemaRouter(graph=router.graph,
+                        config=router.config.ablated(decode_backend="fast"))
+    twin.restore(router.model, router.source_vocabulary, router.target_vocabulary,
+                 router.training_losses)
+    return twin
+
+
+def _top1_key(routes):
+    return (routes[0].database, routes[0].tables) if routes else None
+
+
+class TestFastTier:
+    def test_fast_backend_accepted(self):
+        assert RouterConfig(decode_backend="fast").decode_backend == "fast"
+
+    def test_invalid_kernel_rejected(self, toy_model):
+        model, vocabulary, encoded = toy_model
+        with pytest.raises(ValueError):
+            diverse_beam_search_batch(model, encoded, vocabulary.bos_id,
+                                      vocabulary.eos_id, num_beams=4,
+                                      num_groups=2, kernel="warp")
+
+    def test_engine_fast_kernel_agrees_at_tolerance(self, toy_model):
+        """Same search over the fast kernel: same tokens, near-equal scores
+        (flat GEMMs may drift in the last ulps, never more)."""
+        model, vocabulary, encoded = toy_model
+        exact = diverse_beam_search_batch(
+            model, encoded, vocabulary.bos_id, vocabulary.eos_id,
+            num_beams=4, num_groups=2, max_length=8)
+        fast = diverse_beam_search_batch(
+            model, encoded, vocabulary.bos_id, vocabulary.eos_id,
+            num_beams=4, num_groups=2, max_length=8, kernel="fast")
+        for exact_hyps, fast_hyps in zip(exact, fast):
+            assert [h.tokens for h in exact_hyps] == [h.tokens for h in fast_hyps]
+            for a, b in zip(exact_hyps, fast_hyps):
+                assert a.score == pytest.approx(b.score, rel=1e-9, abs=1e-12)
+
+    def test_fast_honors_none_unconstrained_steps(self, toy_model):
+        """A constraint that only restricts early steps (returning None --
+        "unconstrained" -- afterwards) must not leave stale restrictive masks
+        in the fast tier's resident grid."""
+        model, vocabulary, encoded = toy_model
+
+        def constraint(prefix):
+            if len(prefix) == 0:
+                return {3, 5, vocabulary.eos_id}
+            return None
+
+        exact = diverse_beam_search_batch(
+            model, encoded, vocabulary.bos_id, vocabulary.eos_id,
+            num_beams=4, num_groups=2, max_length=8, constraint=constraint)
+        fast = diverse_beam_search_batch(
+            model, encoded, vocabulary.bos_id, vocabulary.eos_id,
+            num_beams=4, num_groups=2, max_length=8, constraint=constraint,
+            kernel="fast")
+        for exact_hyps, fast_hyps in zip(exact, fast):
+            assert [h.tokens for h in exact_hyps] == [h.tokens for h in fast_hyps]
+
+    def test_refit_clears_stale_parse_cache(self):
+        """fit() must drop parse entries cached under the previous target
+        vocabulary (restore() already does)."""
+        router, questions = _train_router(31, 3)
+        router.route_batch(questions[:2])
+        assert router._parse_cache
+        questioner = TemplateQuestioner(catalog=router.graph.catalog, seed=5)
+        sampler = SchemaSampler(router.graph, seed=5)
+        report = synthesize_training_data(sampler, questioner,
+                                          SynthesisConfig(num_samples=60))
+        router.fit(report.examples)
+        assert not router._parse_cache
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 8, 13])
+    def test_fast_routes_agree_with_vectorized(self, trained_pair, batch_size):
+        router, _, questions = trained_pair
+        fast = _fast_twin(router)
+        rng = np.random.default_rng(100 + batch_size)
+        picked = [questions[int(i)] for i in
+                  rng.integers(0, len(questions), size=batch_size)]
+        agreement = sum(
+            _top1_key(ours) == _top1_key(theirs)
+            for ours, theirs in zip(fast.route_batch(picked),
+                                    router.route_batch(picked))
+        ) / batch_size
+        assert agreement >= 0.99
+
+    @pytest.mark.parametrize("num_beams,beam_groups", [(1, 1), (6, 3), (8, 1),
+                                                       (10, 5), (10, 10)])
+    def test_fast_agrees_across_beam_budgets(self, trained_pair,
+                                             num_beams, beam_groups):
+        """Both the one-beam-per-group and general selection shapes, and the
+        question-compaction tail, reproduce the exact engine's decisions."""
+        router, _, questions = trained_pair
+        vec = SchemaRouter(graph=router.graph, config=router.config.ablated(
+            num_beams=num_beams, beam_groups=beam_groups))
+        vec.restore(router.model, router.source_vocabulary,
+                    router.target_vocabulary)
+        fast = _fast_twin(vec)
+        picked = questions[:10]
+        matches = sum(
+            _top1_key(ours) == _top1_key(theirs)
+            for ours, theirs in zip(fast.route_batch(picked),
+                                    vec.route_batch(picked)))
+        assert matches >= 9
+
+    def test_fast_unconstrained_and_plain_beam(self):
+        router, questions = _train_router(23, 4, constrained_decoding=False,
+                                          diverse_beam=False)
+        fast = _fast_twin(router)
+        picked = questions[:8]
+        matches = sum(
+            _top1_key(ours) == _top1_key(theirs)
+            for ours, theirs in zip(fast.route_batch(picked),
+                                    router.route_batch(picked)))
+        assert matches >= 7
+
+    def test_checkpoint_round_trips_fast_backend(self, trained_pair, tmp_path):
+        from repro.serving.checkpoint import load_router, save_router
+
+        router, _, questions = trained_pair
+        fast = _fast_twin(router)
+        save_router(fast, tmp_path / "fast-ckpt")
+        restored = load_router(tmp_path / "fast-ckpt")
+        assert restored.config.decode_backend == "fast"
+        picked = questions[:4]
+        # The restored fast router reproduces the fast router's own routes
+        # exactly: same weights, same kernel, same machine.
+        assert [_route_key(r) for r in restored.route_batch(picked)] == \
+            [_route_key(r) for r in fast.route_batch(picked)]
+
+    def test_cluster_rides_fast_backend(self, trained_pair, tmp_path):
+        """The knob round-trips through cluster checkpoints: every projected
+        shard (and the escalation tier) decodes on the fast tier."""
+        from repro.cluster import (
+            ClusterConfig,
+            ClusterRoutingService,
+            load_cluster,
+            save_cluster,
+        )
+
+        router, _, questions = trained_pair
+        fast = _fast_twin(router)
+        cluster = ClusterRoutingService.from_router(
+            fast, ClusterConfig(num_shards=2, replicas=1))
+        try:
+            for shard in cluster._shards:
+                worker = shard.workers[0]
+                assert worker.router.config.decode_backend == "fast"
+                if worker.careful_service is not None:
+                    careful = worker.careful_service.router
+                    assert careful.config.decode_backend == "fast"
+            checkpoint = save_cluster(cluster, tmp_path / "fast-cluster")
+        finally:
+            cluster.close()
+        restored = load_cluster(checkpoint)
+        try:
+            assert restored.master_router.config.decode_backend == "fast"
+            for shard in restored._shards:
+                assert shard.workers[0].router.config.decode_backend == "fast"
+            routes = restored.submit_many(questions[:4])
+        finally:
+            restored.close()
+        assert len(routes) == 4

@@ -185,6 +185,36 @@ class TestProcShardWorker:
                 worker.set_databases(("world_atlas",), master_router)
 
 
+class TestFastBackendOverTheWire:
+    def test_subprocess_worker_rides_fast_decode_tier(self, master_router,
+                                                      tmp_path_factory):
+        """A cluster saved from a ``decode_backend="fast"`` master boots
+        subprocess workers that decode on the fast tier transparently -- the
+        knob rides the per-shard router checkpoints, no wire change."""
+        fast_master = SchemaRouter(
+            graph=master_router.graph,
+            config=master_router.config.ablated(decode_backend="fast"))
+        fast_master.restore(master_router.model, master_router.source_vocabulary,
+                            master_router.target_vocabulary,
+                            master_router.training_losses)
+        built = ClusterRoutingService.from_router(
+            fast_master, ClusterConfig(num_shards=2, strategy="size_balanced"))
+        path = save_cluster(built, tmp_path_factory.mktemp("fastproc") / "ckpt")
+        built.close()
+        local = ShardWorker.from_checkpoint(
+            0, path / "shard-00",
+            serving_config=ServingConfig(enable_batching=False))
+        assert local.router.config.decode_backend == "fast"
+        with ProcShardWorker(0, path / "shard-00") as worker:
+            questions = list(QUESTIONS[:6])
+            over_wire = worker.route_batch(questions, max_candidates=3)
+            in_process = local.route_batch(questions, max_candidates=3)
+            # Same checkpoint, same kernel, same machine: the wire must not
+            # change the fast tier's answers.
+            assert _signature(over_wire) == _signature(in_process)
+        local.close()
+
+
 # -- the serve loop, driven in-process ----------------------------------------
 class TestServeLoop:
     def _pipes(self):
