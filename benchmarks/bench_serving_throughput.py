@@ -5,15 +5,21 @@ the route cache absorbs the head of the distribution and the micro-batcher
 amortizes encoding across concurrent misses.  The benchmark prints the usual
 result table plus a one-line JSON summary (``SERVING_SUMMARY ...``) with
 routes/sec, cache hit rate, and p95 latency so CI can scrape it.
+
+``test_tracing_overhead`` gates the observability layer: request tracing on
+vs off on the same workload, interleaved rounds, with the tracing-on median
+required to stay within 5%% of tracing-off.  It prints ``OBS_SUMMARY ...``
+(stage-breakdown percentiles, window QPS, overhead) for CI to scrape.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import statistics
 import time
 
-from repro.serving import LoadGenerator, WorkloadConfig
+from repro.serving import LoadGenerator, RoutingService, ServingConfig, WorkloadConfig
 from repro.utils.tables import ResultTable
 
 #: Shared workload shape: many repeats over a small distinct-question head.
@@ -69,3 +75,75 @@ def test_serving_throughput(benchmark, spider_context, spider_serving):
     # The acceptance bar: batching + caching must at least double throughput
     # on a repeated-question workload.
     assert report.throughput_rps >= 2.0 * naive_rps, summary
+
+
+def test_tracing_overhead(spider_context):
+    """Tracing must be effectively free: the same service config with tracing
+    on serves the same workload within 5% of tracing off.
+
+    The two services share one trained router and run interleaved rounds
+    (off, on, off, on, ...) so machine-load drift hits both sides equally;
+    the gate compares medians.
+    """
+    router = spider_context.copilot.router
+    questions = [example.question for example in spider_context.test_examples()[:40]]
+    generator = LoadGenerator(questions, WORKLOAD)
+
+    def service(enable_tracing: bool) -> RoutingService:
+        return RoutingService(router, config=ServingConfig(
+            max_batch_size=8, max_wait_seconds=0.002, cache_size=4096,
+            enable_tracing=enable_tracing))
+
+    traced, untraced = service(True), service(False)
+    try:
+        # one unmeasured round each fills the caches: every measured round
+        # then serves the identical steady state
+        generator.run(untraced.submit)
+        generator.run(traced.submit)
+        on_rps, off_rps = [], []
+        for _ in range(5):
+            off_rps.append(generator.run(untraced.submit).throughput_rps)
+            on_rps.append(generator.run(traced.submit).throughput_rps)
+        stats = traced.stats()
+    finally:
+        traced.close()
+        untraced.close()
+
+    on, off = statistics.median(on_rps), statistics.median(off_rps)
+    overhead = 1.0 - on / off
+
+    table = ResultTable(
+        title="Tracing overhead: identical workload, tracing on vs off",
+        columns=["mode", "median_routes_per_sec", "rounds"],
+    )
+    table.add_row("tracing_off", round(off, 1), len(off_rps))
+    table.add_row("tracing_on", round(on, 1), len(on_rps))
+    print()
+    print(table.render())
+
+    summary = {
+        "untraced_routes_per_sec": round(off, 1),
+        "traced_routes_per_sec": round(on, 1),
+        "overhead_fraction": round(overhead, 4),
+        "qps_window": stats["qps_window"],
+        "stages": {
+            name: {"count": entry["count"], "p50_ms": entry["p50_ms"],
+                   "p95_ms": entry["p95_ms"]}
+            for name, entry in stats["stages"].items()
+        },
+        "traces_completed": stats["traces"]["completed"],
+        "traces_retained": stats["traces"]["retained"],
+    }
+    print("OBS_SUMMARY " + json.dumps(summary, sort_keys=True))
+
+    # every cache miss opened and finished a trace (hits stay trace-free by
+    # design -- that IS the overhead contract), none leaked...
+    counters = stats["counters"]
+    assert stats["traces"]["completed"] \
+        == counters["requests"] - counters["cache_hits"] > 0
+    assert stats["traces"]["open_traces"] == 0
+    # ...the stage breakdown actually populated...
+    assert {"request", "queue_wait", "encode", "decode", "parse"} \
+        <= set(stats["stages"])
+    # ...and the whole apparatus cost at most 5% throughput.
+    assert on >= 0.95 * off, summary

@@ -54,7 +54,9 @@ from repro.cluster.service import WORKER_BACKENDS, ClusterConfig, ClusterRouting
 from repro.cluster.shard import ShardWorker, project_router
 from repro.cluster.transport import (
     MAX_FRAME_BYTES,
+    MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
+    TRACE_PROTOCOL_VERSION,
     FrameReader,
     FrameTooLargeError,
     FrameWriter,
@@ -108,7 +110,9 @@ __all__ = [
     "WorkerError",
     "WORKER_BACKENDS",
     "MAX_FRAME_BYTES",
+    "MIN_PROTOCOL_VERSION",
     "PROTOCOL_VERSION",
+    "TRACE_PROTOCOL_VERSION",
     "FrameReader",
     "FrameTooLargeError",
     "FrameWriter",

@@ -22,6 +22,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
 from repro.core.router import SchemaRoute, merge_route_lists
+from repro.obs.trace import maybe_span
 
 #: A shard target: ``(questions, max_candidates) -> list of per-question routes``.
 ShardTarget = Callable[[Sequence[str], "int | None"], "list[list[SchemaRoute]]"]
@@ -36,22 +37,23 @@ class ShardTimeoutError(ClusterError):
 
 
 def call_with_timeout(target: Callable, args: tuple, timeout_seconds: float | None,
-                      label: str = "shard"):
-    """Run ``target(*args)``, raising :class:`ShardTimeoutError` on timeout.
+                      label: str = "shard", kwargs: dict | None = None):
+    """Run ``target(*args, **kwargs)``, raising :class:`ShardTimeoutError` on timeout.
 
     With no timeout the call runs inline.  With one, it runs on a daemon
     thread so a hung shard cannot wedge the caller; the abandoned thread is
     left to finish (or leak) on its own -- acceptable for an in-process
     cluster, and exactly what lets replica failover move on.
     """
+    kwargs = kwargs or {}
     if timeout_seconds is None:
-        return target(*args)
+        return target(*args, **kwargs)
     outcome: list = []
     failure: list[BaseException] = []
 
     def runner() -> None:
         try:
-            outcome.append(target(*args))
+            outcome.append(target(*args, **kwargs))
         except BaseException as error:  # propagated to the caller below
             failure.append(error)
 
@@ -118,67 +120,105 @@ class ClusterDispatcher:
         return len(self.targets)
 
     # -- request path --------------------------------------------------------
-    def route(self, question: str,
-              max_candidates: int | None = None) -> list[SchemaRoute]:
-        return self.route_batch([question], max_candidates=max_candidates)[0]
+    def route(self, question: str, max_candidates: int | None = None,
+              trace=None) -> list[SchemaRoute]:
+        return self.route_batch([question], max_candidates=max_candidates,
+                                trace=trace)[0]
 
     def route_batch(self, questions: Sequence[str],
-                    max_candidates: int | None = None) -> list[list[SchemaRoute]]:
+                    max_candidates: int | None = None,
+                    trace=None) -> list[list[SchemaRoute]]:
         """Scatter ``questions`` to every shard and merge the answers.
 
         Raises :class:`ClusterError` when a shard fails (or, with
         ``allow_partial``, only when *every* shard fails); a partial gather
         merges whatever answered and counts the miss in ``shard_failures``.
+
+        With a ``trace`` (a ``repro.obs`` context or scope), the dispatch
+        records one ``scatter`` span per shard (the shard-layer spans nest
+        under it), a ``merge`` span, and -- when the cascade fires -- an
+        ``escalation`` span covering the careful re-scatter.
         """
         if self._closed:
             raise RuntimeError("the dispatcher has been closed")
         if not questions:
             return []
         questions = list(questions)
-        merged = self._scatter_merge(self.targets, questions, max_candidates)
+        merged = self._scatter_merge(self.targets, questions, max_candidates,
+                                     trace=trace)
         if self.careful_targets is not None and self.escalation_threshold is not None:
             needy = [index for index, routes in enumerate(merged)
                      if not routes or routes[0].score < self.escalation_threshold]
             if needy:
                 with self._stats_lock:
                     self.escalations += len(needy)
-                careful = self._scatter_merge(
-                    self.careful_targets, [questions[index] for index in needy],
-                    max_candidates)
+                escalation_span = None
+                escalation_trace = trace
+                if trace is not None:
+                    escalation_span = trace.start_span("escalation",
+                                                       questions=len(needy))
+                    escalation_trace = trace.scoped(escalation_span)
+                try:
+                    careful = self._scatter_merge(
+                        self.careful_targets, [questions[index] for index in needy],
+                        max_candidates, trace=escalation_trace)
+                except BaseException as exc:
+                    if escalation_span is not None:
+                        escalation_span.end(status="error",
+                                            error=f"{type(exc).__name__}: {exc}")
+                    raise
+                if escalation_span is not None:
+                    escalation_span.end()
                 for index, routes in zip(needy, careful):
                     merged[index] = routes
         return merged
 
     def _scatter_merge(self, targets: Sequence[ShardTarget], questions: list[str],
-                       max_candidates: int | None) -> list[list[SchemaRoute]]:
-        futures = [
-            self._pool.submit(call_with_timeout, target, (questions, max_candidates),
-                              self.shard_timeout_seconds, f"shard-{index}")
-            for index, target in enumerate(targets)
-        ]
+                       max_candidates: int | None,
+                       trace=None) -> list[list[SchemaRoute]]:
+        futures = []
+        spans = []
+        for index, target in enumerate(targets):
+            span = None
+            kwargs = None
+            if trace is not None:
+                span = trace.start_span("scatter", shard=index,
+                                        questions=len(questions))
+                kwargs = {"trace": trace.scoped(span)}
+            spans.append(span)
+            futures.append(self._pool.submit(
+                call_with_timeout, target, (questions, max_candidates),
+                self.shard_timeout_seconds, f"shard-{index}", kwargs))
         gathered: list[list[list[SchemaRoute]]] = []
         first_error: BaseException | None = None
-        for future in futures:
+        for span, future in zip(spans, futures):
             try:
                 gathered.append(future.result())
             except Exception as error:
+                if span is not None:
+                    span.end(status="error", error=f"{type(error).__name__}: {error}")
                 with self._stats_lock:
                     self.shard_failures += 1
                     if isinstance(error, ShardTimeoutError):
                         self.shards_timed_out += 1
                 if first_error is None:
                     first_error = error
+            else:
+                if span is not None:
+                    span.end()
         if first_error is not None:
             if not self.allow_partial or not gathered:
                 raise ClusterError("shard dispatch failed") from first_error
             with self._stats_lock:
                 self.partial_gathers += 1
         limit = max_candidates if max_candidates is not None else self.default_max_candidates
-        return [
-            merge_route_lists((shard_answers[index] for shard_answers in gathered),
-                              max_candidates=limit)
-            for index in range(len(questions))
-        ]
+        with maybe_span(trace, "merge", shards=len(gathered),
+                        questions=len(questions)):
+            return [
+                merge_route_lists((shard_answers[index] for shard_answers in gathered),
+                                  max_candidates=limit)
+                for index in range(len(questions))
+            ]
 
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:

@@ -44,6 +44,7 @@ from repro.cluster.transport import (
     FrameWriter,
     MAX_FRAME_BYTES,
     ProtocolError,
+    TRACE_PROTOCOL_VERSION,
     TransportTimeoutError,
     check_protocol,
     error_message,
@@ -54,6 +55,7 @@ from repro.cluster.transport import (
     write_frame,
 )
 from repro.core.router import SchemaRoute
+from repro.obs import Tracer
 from repro.serving.service import ServingConfig
 
 
@@ -82,6 +84,11 @@ def serve(worker: ShardWorker, reader, writer,
     if ack.get("type") != "hello_ack":
         raise ProtocolError(f"expected hello_ack, got {ack.get('type')!r}")
     check_protocol(ack)
+    # Child-side tracer: spans recorded here feed the worker service's own
+    # stage metrics AND travel back in ``route_response.spans`` to be
+    # stitched into the dispatcher's trace.  The journal stays tiny -- the
+    # parent side retains the interesting exemplars.
+    tracer = Tracer(metrics=worker.service.metrics, max_slow_traces=4)
     while True:
         message = read_frame(reader, max_frame_bytes=max_frame_bytes)
         if message is None:
@@ -89,18 +96,32 @@ def serve(worker: ShardWorker, reader, writer,
         request_id = message.get("id")
         kind = message.get("type")
         try:
-            if kind == "route_batch_request":
-                routes = worker.route_batch(list(message["questions"]),
-                                            max_candidates=message.get("max_candidates"),
-                                            careful=bool(message.get("careful", False)))
+            if kind in ("route_batch_request", "route_request"):
+                questions = list(message["questions"]) \
+                    if kind == "route_batch_request" else [message["question"]]
+                wire_trace = message.get("trace")
+                context = None
+                if isinstance(wire_trace, dict) and wire_trace.get("trace_id"):
+                    context = tracer.adopt(
+                        str(wire_trace["trace_id"]),
+                        wire_trace.get("parent_span_id"),
+                        name="worker", shard=worker.shard_id, pid=os.getpid())
+                try:
+                    routes = worker.route_batch(
+                        questions,
+                        max_candidates=message.get("max_candidates"),
+                        careful=bool(message.get("careful", False)),
+                        trace=context)
+                except Exception as error:
+                    if context is not None:
+                        context.finish(status="error",
+                                       error=f"{type(error).__name__}: {error}")
+                    raise
                 reply = {"type": "route_response", "id": request_id,
                          "routes": route_lists_to_payload(routes)}
-            elif kind == "route_request":
-                routes = worker.route_batch([message["question"]],
-                                            max_candidates=message.get("max_candidates"),
-                                            careful=bool(message.get("careful", False)))
-                reply = {"type": "route_response", "id": request_id,
-                         "routes": route_lists_to_payload(routes)}
+                if context is not None:
+                    context.finish()
+                    reply["spans"] = context.span_dicts()
             elif kind == "stats_request":
                 reply = {"type": "stats_response", "id": request_id,
                          "stats": worker.stats()}
@@ -158,7 +179,11 @@ def worker_main(argv: list[str] | None = None) -> int:
         serving_config=ServingConfig(enable_batching=False,
                                      enable_cache=not arguments.no_cache,
                                      cache_size=arguments.cache_size,
-                                     cache_ttl_seconds=arguments.cache_ttl_seconds),
+                                     cache_ttl_seconds=arguments.cache_ttl_seconds,
+                                     # Traces are adopted from the wire (see
+                                     # serve()); the shard service must not
+                                     # start its own per-wave traces on top.
+                                     enable_tracing=False),
         escalation_num_beams=arguments.escalation_num_beams,
     )
     try:
@@ -226,6 +251,10 @@ class ProcShardWorker:
         self.python_executable = python_executable or sys.executable
         self.max_frame_bytes = max_frame_bytes
         self.databases: tuple[str, ...] = ()
+        #: What the current child speaks (from its hello); a respawn may
+        #: change it, e.g. when an upgraded proxy drives an old checkpointed
+        #: worker image.  Trace fields are only sent to trace-aware peers.
+        self.peer_protocol = 1
         self.respawns = -1  # first _spawn() brings it to 0
         self.requests_sent = 0
         self.timeouts = 0
@@ -276,6 +305,7 @@ class ProcShardWorker:
             if hello.get("type") != "hello":
                 raise ProtocolError(f"expected hello, got {hello.get('type')!r}")
             check_protocol(hello)
+            self.peer_protocol = int(hello["protocol"])
             self.databases = tuple(hello.get("databases", ()))
             self._writer.write({"type": "hello_ack", "protocol": hello["protocol"]},
                                timeout_seconds=self.spawn_timeout_seconds)
@@ -397,18 +427,43 @@ class ProcShardWorker:
         return reply
 
     def route_batch(self, questions: list[str], max_candidates: int | None = None,
-                    careful: bool = False) -> list[list[SchemaRoute]]:
-        """Route one scatter wave in the worker process."""
-        with self._lock:
-            self._ensure_alive_locked()
-            reply = self._request_locked(
-                {"type": "route_batch_request", "questions": list(questions),
-                 "max_candidates": max_candidates, "careful": careful},
-                "route_response", self.request_timeout_seconds)
-        routes = route_lists_from_payload(reply["routes"])
-        if len(routes) != len(questions):
-            raise ProtocolError(f"worker answered {len(routes)} route lists for "
-                                f"{len(questions)} questions")
+                    careful: bool = False, trace=None) -> list[list[SchemaRoute]]:
+        """Route one scatter wave in the worker process.
+
+        With a ``trace``, a ``wire`` span covers the whole round-trip; the
+        propagation context rides the request frame (only to trace-aware
+        peers -- a protocol-1 worker never sees the field) and the worker's
+        own spans come back in the reply, rebased and stitched under the
+        ``wire`` span."""
+        span = trace.start_span("wire", shard=self.shard_id,
+                                questions=len(questions)) \
+            if trace is not None else None
+        try:
+            with self._lock:
+                self._ensure_alive_locked()
+                message = {"type": "route_batch_request",
+                           "questions": list(questions),
+                           "max_candidates": max_candidates, "careful": careful}
+                # peer_protocol is read under the lock: _ensure_alive_locked
+                # may have just respawned a (differently-versioned) child.
+                if span is not None \
+                        and self.peer_protocol >= TRACE_PROTOCOL_VERSION:
+                    message["trace"] = trace.wire_context(span)
+                reply = self._request_locked(message, "route_response",
+                                             self.request_timeout_seconds)
+            routes = route_lists_from_payload(reply["routes"])
+            if len(routes) != len(questions):
+                raise ProtocolError(f"worker answered {len(routes)} route lists "
+                                    f"for {len(questions)} questions")
+        except BaseException as exc:
+            if span is not None:
+                span.end(status="error", error=f"{type(exc).__name__}: {exc}")
+            raise
+        if span is not None:
+            span.end()
+            remote_spans = reply.get("spans")
+            if remote_spans:
+                trace.add_remote_spans(remote_spans, anchor=span)
         return routes
 
     def ping(self, timeout_seconds: float | None = None) -> float:

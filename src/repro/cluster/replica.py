@@ -92,7 +92,8 @@ class ReplicaSet:
     # -- request path --------------------------------------------------------
     def route_batch(self, questions: Sequence[str],
                     max_candidates: int | None = None,
-                    careful: bool = False) -> list[list[SchemaRoute]]:
+                    careful: bool = False,
+                    trace=None) -> list[list[SchemaRoute]]:
         """Route through the first replica that answers; quarantine failures."""
         attempts = self._attempt_order()
         last_error: BaseException | None = None
@@ -104,6 +105,7 @@ class ReplicaSet:
                     (list(questions), max_candidates, careful),
                     self.attempt_timeout_seconds,
                     f"shard-{self.shard_id}-replica",
+                    kwargs={"trace": trace} if trace is not None else None,
                 )
             except Exception as error:
                 last_error = error

@@ -27,6 +27,7 @@ from repro.cluster.dispatcher import ClusterDispatcher
 from repro.cluster.partition import ShardAssignment, partition_catalog
 from repro.cluster.replica import ReplicaSet
 from repro.cluster.shard import ShardWorker
+from repro.obs import Tracer
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.service import ServingConfig
 
@@ -79,6 +80,12 @@ class ClusterConfig:
     cache_size: int = 2048
     cache_ttl_seconds: float | None = None
     max_workers: int | None = None
+    #: Record per-request traces at the cluster entry point.  Shard-level
+    #: services never start their own traces (the cluster's context threads
+    #: through to them), so this is the only tracing switch of a cluster.
+    enable_tracing: bool = True
+    #: How many slowest complete traces the journal retains as exemplars.
+    trace_exemplars: int = 8
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
@@ -101,7 +108,11 @@ class ClusterConfig:
         return ServingConfig(enable_cache=self.enable_cache,
                              cache_size=self.cache_size,
                              cache_ttl_seconds=self.cache_ttl_seconds,
-                             enable_batching=False)
+                             enable_batching=False,
+                             # The cluster owns the trace; shard services
+                             # record spans into it rather than starting
+                             # their own per-wave traces.
+                             enable_tracing=False)
 
     def shard_beams_for(self, master: SchemaRouter) -> tuple[int, int]:
         """(num_beams, beam_groups) of the fast tier for shards of ``master``."""
@@ -140,6 +151,9 @@ class ClusterRoutingService:
         self.assignment = assignment
         self.master_router = master_router
         self.metrics = MetricsRegistry()
+        self.tracer = Tracer(metrics=self.metrics,
+                             enabled=self.config.enable_tracing,
+                             max_slow_traces=self.config.trace_exemplars)
         self._shards = list(shards)
         self._catalog_version = catalog_version
         # Judge replication by what the replica sets actually contain, not by
@@ -154,8 +168,9 @@ class ClusterRoutingService:
         careful_targets = None
         if self.config.escalation_threshold is not None:
             careful_targets = [
-                (lambda questions, max_candidates, _rs=replica_set:
-                 _rs.route_batch(questions, max_candidates, careful=True))
+                (lambda questions, max_candidates, trace=None, _rs=replica_set:
+                 _rs.route_batch(questions, max_candidates, careful=True,
+                                 trace=trace))
                 for replica_set in self._shards
             ]
         self.dispatcher = ClusterDispatcher(
@@ -264,8 +279,19 @@ class ClusterRoutingService:
             raise RuntimeError("the cluster service has been closed")
         started = time.monotonic()
         self.metrics.increment("requests")
-        routes = self.dispatcher.route(
-            question, max_candidates=max_candidates or self.config.max_candidates)
+        trace = self.tracer.start_trace("request", question_chars=len(question))
+        try:
+            routes = self.dispatcher.route(
+                question, max_candidates=max_candidates or self.config.max_candidates,
+                trace=trace)
+        except BaseException as exc:
+            if trace is not None:
+                trace.finish(status="error", error=f"{type(exc).__name__}: {exc}")
+                trace = None
+            raise
+        finally:
+            if trace is not None:
+                trace.finish()
         self.metrics.increment("routed")
         self.metrics.observe_latency(time.monotonic() - started)
         return routes
@@ -279,8 +305,20 @@ class ClusterRoutingService:
             return []
         started = time.monotonic()
         self.metrics.increment("requests", len(questions))
-        results = self.dispatcher.route_batch(
-            list(questions), max_candidates=max_candidates or self.config.max_candidates)
+        trace = self.tracer.start_trace("request_wave", questions=len(questions))
+        try:
+            results = self.dispatcher.route_batch(
+                list(questions),
+                max_candidates=max_candidates or self.config.max_candidates,
+                trace=trace)
+        except BaseException as exc:
+            if trace is not None:
+                trace.finish(status="error", error=f"{type(exc).__name__}: {exc}")
+                trace = None
+            raise
+        finally:
+            if trace is not None:
+                trace.finish()
         self.metrics.increment("routed", len(questions))
         elapsed = time.monotonic() - started
         for _ in questions:
@@ -329,6 +367,11 @@ class ClusterRoutingService:
         shard_stats = []
         total_requests = 0
         total_hits = 0
+        # Route-cache effectiveness rolled up across every worker of every
+        # tier: without this, cache behavior is only visible per worker, deep
+        # inside the per-shard detail.
+        cache_rollup = {"size": 0, "hits": 0, "misses": 0, "evictions": 0,
+                        "expirations": 0, "invalidations": 0}
         for replica_set in self._shards:
             entry = replica_set.stats()
             entry["workers"] = [worker.stats() for worker in replica_set.workers]
@@ -343,8 +386,15 @@ class ClusterRoutingService:
                     total_requests += counters.get("requests", 0)
                     total_hits += counters.get("cache_hits", 0)
                     qps += tier["qps"]
+                    tier_cache = tier.get("cache")
+                    if tier_cache:
+                        for key in cache_rollup:
+                            cache_rollup[key] += tier_cache.get(key, 0)
             entry["qps"] = round(qps, 2)
             shard_stats.append(entry)
+        lookups = cache_rollup["hits"] + cache_rollup["misses"]
+        cache_rollup["hit_rate"] = (round(cache_rollup["hits"] / lookups, 4)
+                                    if lookups else 0.0)
         snapshot["num_shards"] = self.num_shards
         snapshot["replicas"] = self._max_replicas
         snapshot["worker_backend"] = self.config.worker_backend
@@ -353,6 +403,8 @@ class ClusterRoutingService:
         snapshot["catalog_version"] = self._catalog_version
         snapshot["cache_hit_rate"] = (round(total_hits / total_requests, 4)
                                       if total_requests else 0.0)
+        snapshot["cache"] = cache_rollup
+        snapshot["traces"] = self.tracer.journal.stats()
         snapshot["dispatcher"] = {
             "shard_failures": self.dispatcher.shard_failures,
             "shards_timed_out": self.dispatcher.shards_timed_out,

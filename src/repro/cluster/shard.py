@@ -127,15 +127,18 @@ class ShardWorker:
         return self.service.router
 
     def route_batch(self, questions: list[str], max_candidates: int | None = None,
-                    careful: bool = False) -> list[list[SchemaRoute]]:
+                    careful: bool = False, trace=None) -> list[list[SchemaRoute]]:
         """Route one scatter wave (cache-aware, deduplicated within the wave).
 
         ``careful=True`` decodes through the escalation tier (wide beams);
         it falls back to the fast tier when no escalation tier is configured.
+        A caller-provided ``trace`` scope threads through to the service so
+        encode/decode/parse spans nest under the dispatcher's scatter span.
         """
         service = self.careful_service if careful and self.careful_service is not None \
             else self.service
-        return service.submit_many(questions, max_candidates=max_candidates)
+        return service.submit_many(questions, max_candidates=max_candidates,
+                                   trace=trace)
 
     # -- rebalance hook ------------------------------------------------------
     def set_databases(self, databases: tuple[str, ...], master: SchemaRouter) -> None:

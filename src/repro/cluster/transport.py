@@ -42,8 +42,17 @@ from typing import BinaryIO, Callable
 from repro.cluster.dispatcher import ClusterError
 from repro.core.router import SchemaRoute
 
-#: Bump on incompatible message-shape changes; negotiated in the handshake.
-PROTOCOL_VERSION = 1
+#: Bump on message-shape changes; negotiated in the handshake.  Version 2
+#: added the optional ``trace`` field on route requests (and ``spans`` on
+#: their responses); version-1 peers are still accepted -- the fields are
+#: simply never sent to (or expected from) them.
+PROTOCOL_VERSION = 2
+
+#: Oldest peer version this side still interoperates with.
+MIN_PROTOCOL_VERSION = 1
+
+#: First version that understands the ``trace`` / ``spans`` fields.
+TRACE_PROTOCOL_VERSION = 2
 
 FRAME_MAGIC = b"RW"
 #: Payload encodings; only JSON for now (the byte reserves room for binary).
@@ -314,11 +323,18 @@ def hello_message(shard_id: int, databases: tuple[str, ...] | list[str],
 
 
 def check_protocol(message: dict) -> None:
-    """Validate the negotiated version of a ``hello`` / ``hello_ack``."""
+    """Validate the negotiated version of a ``hello`` / ``hello_ack``.
+
+    Any version in ``[MIN_PROTOCOL_VERSION, PROTOCOL_VERSION]`` is accepted:
+    newer dispatchers keep driving older workers by suppressing the optional
+    fields the old version does not know (see ``TRACE_PROTOCOL_VERSION``).
+    """
     spoken = message.get("protocol")
-    if spoken != PROTOCOL_VERSION:
+    if not isinstance(spoken, int) or isinstance(spoken, bool) \
+            or not MIN_PROTOCOL_VERSION <= spoken <= PROTOCOL_VERSION:
         raise VersionMismatchError(
-            f"peer speaks protocol {spoken!r}, this side speaks {PROTOCOL_VERSION}")
+            f"peer speaks protocol {spoken!r}, this side speaks "
+            f"{MIN_PROTOCOL_VERSION}..{PROTOCOL_VERSION}")
 
 
 # -- route payloads ------------------------------------------------------------

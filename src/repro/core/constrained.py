@@ -141,6 +141,10 @@ class GraphConstrainedDecoding:
         # first once ``max_cached_masks`` is reached.
         self._mask_cache: dict[tuple, _MaskEntry] = {}
         self.max_cached_masks = 4096
+        # Observability counters: memo/cache hits vs fresh mask computations.
+        # Read (as before/after deltas) by SchemaRouter's decode spans.
+        self.mask_cache_hits = 0
+        self.mask_cache_misses = 0
 
     # -- helpers --------------------------------------------------------------
     def _word_ids(self, identifier: str) -> tuple[int, ...]:
@@ -263,6 +267,8 @@ class GraphConstrainedDecoding:
         if mask is None:
             mask = self._mask_entry(state).mask
             state.mask = mask
+        else:
+            self.mask_cache_hits += 1
         return mask
 
     # -- the constraint callable ------------------------------------------------------
@@ -290,6 +296,7 @@ class GraphConstrainedDecoding:
         key = (state.database, state.tables, state.current_words, state.complete)
         entry = self._mask_cache.get(key)
         if entry is None:
+            self.mask_cache_misses += 1
             size = len(self.vocabulary)
             mask = np.zeros(size, dtype=bool)
             # _allowed_for_state never returns an empty set (it falls back to
@@ -302,6 +309,8 @@ class GraphConstrainedDecoding:
                 self._mask_cache.pop(next(iter(self._mask_cache)))
             entry = _MaskEntry(mask)
             self._mask_cache[key] = entry
+        else:
+            self.mask_cache_hits += 1
         return entry
 
     def _allowed_for_state(self, state: _DecodedState) -> set[int]:

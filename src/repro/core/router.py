@@ -30,6 +30,7 @@ from repro.nn.decoding import (
 )
 from repro.nn.seq2seq import Seq2SeqConfig, Seq2SeqModel
 from repro.nn.tokenizer import Vocabulary, WordTokenizer
+from repro.obs.trace import distinct_traces, stage_spans
 from repro.nn.trainer import Seq2SeqTrainer, TrainerConfig
 from repro.retrieval.base import CandidateSchema, RankedTable, RoutingPrediction
 from repro.utils.rng import SeededRng
@@ -293,7 +294,9 @@ class SchemaRouter:
         return self.route_batch([question], max_candidates=max_candidates)[0]
 
     def route_batch(self, questions: list[str],
-                    max_candidates: int | None = None) -> list[list[SchemaRoute]]:
+                    max_candidates: int | None = None, *,
+                    traces: "Sequence | None" = None,
+                    decode_stats: dict | None = None) -> list[list[SchemaRoute]]:
         """Route several questions, decoding them as one batch.
 
         The source encoding runs once for the whole batch, the tokenizers and
@@ -307,11 +310,21 @@ class SchemaRouter:
         kernel: same search semantics, highest throughput, scores allowed to
         drift in the last ulps (tolerance-checked agreement instead of
         bit-identity).
+
+        ``traces`` is an optional per-question list of ``repro.obs`` trace
+        contexts (``None`` entries allowed; repeats collapse): each distinct
+        context gets ``encode`` / ``decode`` / ``parse`` spans, with decode
+        spans annotated by engine counters (steps, beam rows advanced,
+        questions compacted, constraint mask-cache hits/misses).
+        ``decode_stats`` additionally accumulates the raw engine counters
+        into a caller-owned dict.  Neither affects routing results.
         """
         if self._model is None:
             raise RuntimeError("the router has not been trained yet")
         if not questions:
             return []
+        contexts = distinct_traces(traces)
+        stats = decode_stats if decode_stats is not None else ({} if contexts else None)
         max_candidates = max_candidates or self.config.max_candidate_schemas
         source_tokenizer = WordTokenizer(self.source_vocabulary)
         target_tokenizer = WordTokenizer(self.target_vocabulary)
@@ -323,39 +336,57 @@ class SchemaRouter:
             num_groups, diversity_penalty = 1, 0.0
         bos_id = self.target_vocabulary.bos_id
         eos_id = self.target_vocabulary.eos_id
-        encoded_batch = self._model.encode_numpy_batch(
-            [source_tokenizer.encode_text(question,
-                                          max_length=self.config.max_source_length)
-             for question in questions],
-            pad_id=self.source_vocabulary.pad_id,
-        )
-        if self.config.decode_backend == "loop":
-            hypotheses_batch = [
-                diverse_beam_search_loop(
-                    self._model, (), bos_id, eos_id,
+        with stage_spans(contexts, "encode", questions=len(questions)):
+            encoded_batch = self._model.encode_numpy_batch(
+                [source_tokenizer.encode_text(question,
+                                              max_length=self.config.max_source_length)
+                 for question in questions],
+                pad_id=self.source_vocabulary.pad_id,
+            )
+        masks_before = ((self._constraint.mask_cache_hits,
+                         self._constraint.mask_cache_misses)
+                        if constraint is not None else (0, 0))
+        with stage_spans(contexts, "decode",
+                         backend=self.config.decode_backend,
+                         questions=len(questions)) as decode_spans:
+            if self.config.decode_backend == "loop":
+                hypotheses_batch = [
+                    diverse_beam_search_loop(
+                        self._model, (), bos_id, eos_id,
+                        num_beams=self.config.num_beams, num_groups=num_groups,
+                        diversity_penalty=diversity_penalty,
+                        max_length=self.config.max_decode_length, constraint=constraint,
+                        encoded=encoded, stats=stats,
+                    )
+                    for encoded in encoded_batch
+                ]
+            else:
+                hypotheses_batch = diverse_beam_search_batch(
+                    self._model, encoded_batch, bos_id, eos_id,
                     num_beams=self.config.num_beams, num_groups=num_groups,
                     diversity_penalty=diversity_penalty,
                     max_length=self.config.max_decode_length, constraint=constraint,
-                    encoded=encoded,
+                    kernel="fast" if self.config.decode_backend == "fast" else "exact",
+                    stats=stats,
                 )
-                for encoded in encoded_batch
-            ]
-        else:
-            hypotheses_batch = diverse_beam_search_batch(
-                self._model, encoded_batch, bos_id, eos_id,
-                num_beams=self.config.num_beams, num_groups=num_groups,
-                diversity_penalty=diversity_penalty,
-                max_length=self.config.max_decode_length, constraint=constraint,
-                kernel="fast" if self.config.decode_backend == "fast" else "exact",
-            )
-        results: list[list[SchemaRoute]] = []
-        for encoded, hypotheses in zip(encoded_batch, hypotheses_batch):
-            if not hypotheses:
-                hypotheses = [greedy_decode(self._model, (), bos_id, eos_id,
-                                            max_length=self.config.max_decode_length,
-                                            constraint=constraint, encoded=encoded)]
-            results.append(self._combine_hypotheses(hypotheses, target_tokenizer,
-                                                    max_candidates))
+            if decode_spans and stats is not None:
+                counters = dict(stats)
+                if constraint is not None:
+                    counters["mask_cache_hits"] = \
+                        self._constraint.mask_cache_hits - masks_before[0]
+                    counters["mask_cache_misses"] = \
+                        self._constraint.mask_cache_misses - masks_before[1]
+                for span in decode_spans:
+                    span.annotate(**counters)
+        with stage_spans(contexts, "parse"):
+            results: list[list[SchemaRoute]] = []
+            for encoded, hypotheses in zip(encoded_batch, hypotheses_batch):
+                if not hypotheses:
+                    hypotheses = [greedy_decode(self._model, (), bos_id, eos_id,
+                                                max_length=self.config.max_decode_length,
+                                                constraint=constraint, encoded=encoded)]
+                results.append(self._combine_hypotheses(hypotheses, target_tokenizer,
+                                                        max_candidates))
         return results
 
     def _combine_hypotheses(self, hypotheses: list, target_tokenizer: WordTokenizer,

@@ -239,19 +239,32 @@ def diverse_beam_search(model: Seq2SeqModel, source_ids: Sequence[int], bos_id: 
     )[0]
 
 
+def _note_decode_stats(stats: dict | None, **counts: int) -> None:
+    """Accumulate observability counters into a caller-provided dict.
+
+    Pure bookkeeping on plain ints, written once per engine call after the
+    search completes -- it cannot perturb the decode numerics."""
+    if stats is None:
+        return
+    for key, value in counts.items():
+        stats[key] = stats.get(key, 0) + value
+
+
 def diverse_beam_search_loop(model: Seq2SeqModel, source_ids: Sequence[int],
                              bos_id: int, eos_id: int,
                              num_beams: int = 10, num_groups: int = 10,
                              diversity_penalty: float = 2.0, max_length: int = 48,
                              constraint: Constraint | None = None,
                              length_penalty: float = 0.0,
-                             encoded: EncodedSource | None = None) -> list[BeamHypothesis]:
+                             encoded: EncodedSource | None = None,
+                             stats: dict | None = None) -> list[BeamHypothesis]:
     """Per-beam diverse beam search: the reference (``loop``) decode backend.
 
     Semantically and bit-for-bit identical to running the question through
     :func:`diverse_beam_search_batch`, but advances one beam per kernel call
     in plain Python -- the shape the differential tests compare the batched
-    engine against.
+    engine against.  ``stats``, when given, accumulates ``steps`` (decode
+    steps with at least one active beam) and ``beam_rows`` (kernel calls).
     """
     beams_per_group = _validate_beam_budget(num_beams, num_groups)
 
@@ -261,6 +274,8 @@ def diverse_beam_search_loop(model: Seq2SeqModel, source_ids: Sequence[int],
         [_Beam(state=encoded.state.copy())] for _ in range(num_groups)
     ]
 
+    steps = 0
+    beam_rows = 0
     for _ in range(max_length):
         tokens_chosen_this_step: dict[int, int] = {}
         any_active = False
@@ -271,6 +286,7 @@ def diverse_beam_search_loop(model: Seq2SeqModel, source_ids: Sequence[int],
                     candidates.append(beam)
                     continue
                 any_active = True
+                beam_rows += 1
                 previous = beam.tokens[-1] if beam.tokens else bos_id
                 log_probabilities, new_state = model.decode_step_numpy(
                     encoded, beam.state, previous)
@@ -315,7 +331,9 @@ def diverse_beam_search_loop(model: Seq2SeqModel, source_ids: Sequence[int],
             groups[group_index] = selected
         if not any_active:
             break
+        steps += 1
 
+    _note_decode_stats(stats, steps=steps, beam_rows=beam_rows)
     return _finalize_groups(groups, eos_id, length_penalty, num_beams)
 
 
@@ -325,7 +343,8 @@ def diverse_beam_search_batch(model: Seq2SeqModel, encoded_batch: "list[EncodedS
                               diversity_penalty: float = 2.0, max_length: int = 48,
                               constraint: Constraint | None = None,
                               length_penalty: float = 0.0,
-                              kernel: str = "exact") -> list[list[BeamHypothesis]]:
+                              kernel: str = "exact",
+                              stats: dict | None = None) -> list[list[BeamHypothesis]]:
     """Diverse beam search over a whole micro-batch of questions at once.
 
     Per step, the active beams of *all* groups of *all* questions advance
@@ -360,6 +379,9 @@ def diverse_beam_search_batch(model: Seq2SeqModel, encoded_batch: "list[EncodedS
 
     With the exact kernel, returns one hypothesis list per question,
     bit-identical to :func:`diverse_beam_search_loop` on the same inputs.
+    ``stats``, when given, accumulates ``steps`` (stacked kernel calls) and
+    ``beam_rows`` (active rows advanced across all steps); the fast tier
+    additionally counts ``questions_compacted``.
     """
     beams_per_group = _validate_beam_budget(num_beams, num_groups)
     if kernel == "fast":
@@ -367,7 +389,7 @@ def diverse_beam_search_batch(model: Seq2SeqModel, encoded_batch: "list[EncodedS
             model, encoded_batch, bos_id, eos_id,
             num_beams=num_beams, num_groups=num_groups,
             diversity_penalty=diversity_penalty, max_length=max_length,
-            constraint=constraint, length_penalty=length_penalty)
+            constraint=constraint, length_penalty=length_penalty, stats=stats)
     if kernel != "exact":
         raise ValueError(f"kernel must be 'exact' or 'fast', got {kernel!r}")
     num_questions = len(encoded_batch)
@@ -428,6 +450,8 @@ def diverse_beam_search_batch(model: Seq2SeqModel, encoded_batch: "list[EncodedS
     scratch_finished = np.zeros(beams_per_group, dtype=bool)
     scratch_cstates: list = [None] * beams_per_group
 
+    steps = 0
+    beam_rows = 0
     for _ in range(max_length):
         # Python-list snapshots of the step-start bookkeeping: selection only
         # ever reads pre-step values (the scratch write-back below is the sole
@@ -461,6 +485,8 @@ def diverse_beam_search_batch(model: Seq2SeqModel, encoded_batch: "list[EncodedS
             group_bounds.append((start, len(row_question)))
         if not row_question:
             break
+        steps += 1
+        beam_rows += len(row_question)
         question_index = np.asarray(row_question, dtype=np.int64)
         beam_index = np.asarray(row_beam, dtype=np.int64)
         group_index = np.asarray(row_group, dtype=np.int64)
@@ -611,6 +637,7 @@ def diverse_beam_search_batch(model: Seq2SeqModel, encoded_batch: "list[EncodedS
                 if group_states is not None:
                     constraint_states[question][group] = scratch_cstates[:count]
 
+    _note_decode_stats(stats, steps=steps, beam_rows=beam_rows)
     results: list[list[BeamHypothesis]] = []
     for question in range(num_questions):
         groups_out: list[list[_Beam]] = []
@@ -633,7 +660,8 @@ def _diverse_beam_search_batch_dense(model: Seq2SeqModel,
                                      num_beams: int, num_groups: int,
                                      diversity_penalty: float, max_length: int,
                                      constraint: Constraint | None,
-                                     length_penalty: float
+                                     length_penalty: float,
+                                     stats: dict | None = None
                                      ) -> list[list[BeamHypothesis]]:
     """The ``fast`` decode tier: slot-dense diverse beam search.
 
@@ -751,12 +779,16 @@ def _diverse_beam_search_batch_dense(model: Seq2SeqModel,
     question_ids = list(range(num_questions))
     banked: dict[int, tuple] = {}
 
+    steps = 0
+    beam_rows = 0
+    questions_compacted = 0
     for _ in range(max_length):
         active = ~finished & (beam_arange < alive[:, :, None])   # (Q, G, B)
         if not active.any():
             break
         live = active.any(axis=(1, 2))                           # (Q,)
         if not live.all():
+            questions_compacted += int((~live).sum())
             for question in np.nonzero(~live)[0].tolist():
                 banked[question_ids[question]] = (
                     tokens[question].copy(), lengths[question].copy(),
@@ -834,6 +866,8 @@ def _diverse_beam_search_batch_dense(model: Seq2SeqModel,
             flat_tokens[question_arange, slot_arange,
                         np.maximum(flat_lengths - 1, 0)],
             bos_id)
+        steps += 1
+        beam_rows += num_questions * slots
         log_probabilities, step_states = model.decode_step_numpy_batch_fast(
             memory, memory_mask, flat_states, previous,
             input_table=input_table, memory_t=memory_t)
@@ -977,6 +1011,8 @@ def _diverse_beam_search_batch_dense(model: Seq2SeqModel,
             finished_t[group_index3, question_index_mid, parents])
         alive[:] = np.asarray(step_alive, dtype=np.int64).T
 
+    _note_decode_stats(stats, steps=steps, beam_rows=beam_rows,
+                       questions_compacted=questions_compacted)
     # Bank whatever is still resident, then emit every question's beams in
     # the original batch order (compaction may have reordered the grid).
     for question, original in enumerate(question_ids):

@@ -1,0 +1,62 @@
+"""Observability: request-scoped tracing, stage metrics, and exporters.
+
+The serving stack records *where a request's time went* -- batcher queue,
+encode, decode steps, constraint masking, scatter fan-out, wire round-trips,
+merge, escalation -- as a tree of spans per request:
+
+* :mod:`repro.obs.trace` -- :class:`Tracer` / :class:`TraceContext` /
+  :class:`Span`, the bounded :class:`TraceJournal` with slow-request exemplar
+  retention, and remote-span stitching for subprocess workers;
+* :mod:`repro.obs.export` -- zero-dependency renderers turning any
+  ``stats()`` snapshot into Prometheus text format or JSON lines, plus the
+  ``python -m repro.obs.export`` CLI.
+
+Span durations additionally feed per-stage
+:class:`repro.serving.metrics.LatencyRecorder` reservoirs, so
+``MetricsRegistry.snapshot()`` carries a stage-breakdown section even after
+individual traces have been dropped from the journal.
+"""
+
+from repro.obs.trace import (
+    ScopedTrace,
+    Span,
+    TraceContext,
+    TraceJournal,
+    Tracer,
+    distinct_traces,
+    maybe_span,
+    stage_spans,
+)
+
+__all__ = [
+    "Span",
+    "ScopedTrace",
+    "TraceContext",
+    "TraceJournal",
+    "Tracer",
+    "distinct_traces",
+    "maybe_span",
+    "stage_spans",
+    "flatten_snapshot",
+    "parse_json_lines",
+    "parse_prometheus",
+    "to_json_lines",
+    "to_prometheus",
+]
+
+#: Exporter symbols resolve lazily (PEP 562) so importing :mod:`repro.obs`
+#: does not pre-import :mod:`repro.obs.export` -- ``python -m
+#: repro.obs.export`` would otherwise re-execute an already-loaded module
+#: and print a runpy ``RuntimeWarning`` on every CLI invocation.
+_EXPORT_SYMBOLS = frozenset({
+    "flatten_snapshot", "parse_json_lines", "parse_prometheus",
+    "to_json_lines", "to_prometheus",
+})
+
+
+def __getattr__(name: str):
+    if name in _EXPORT_SYMBOLS:
+        from repro.obs import export
+
+        return getattr(export, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -42,9 +42,16 @@ class _Request:
     question: str
     max_candidates: int | None
     future: Future
+    #: Optional repro.obs trace context riding along with the request.
+    trace: object | None = None
+    queue_span: object | None = None
 
 
 #: ``route_batch(questions, max_candidates) -> list of per-question results``.
+#: Callables may additionally accept a third positional ``traces`` argument (a
+#: per-question list of trace contexts); the batcher only passes it when at
+#: least one request in the group carries a trace, so plain two-argument
+#: callables keep working untraced.
 RouteBatchFn = Callable[[Sequence[str], "int | None"], "list"]
 
 
@@ -67,13 +74,21 @@ class MicroBatcher:
         self._worker.start()
 
     # -- client side ---------------------------------------------------------
-    def submit(self, question: str, max_candidates: int | None = None) -> Future:
-        """Queue one question; the future resolves to its routes."""
+    def submit(self, question: str, max_candidates: int | None = None,
+               trace=None) -> Future:
+        """Queue one question; the future resolves to its routes.
+
+        With a ``trace``, a ``queue_wait`` span covers the time from enqueue
+        until the worker thread picks the request up for dispatch."""
         future: Future = Future()
+        queue_span = trace.start_span("queue_wait") if trace is not None else None
         with self._condition:
             if self._closed:
+                if queue_span is not None:
+                    queue_span.end(status="error", error="batcher closed")
                 raise RuntimeError("the batcher has been closed")
-            self._queue.append(_Request(question, max_candidates, future))
+            self._queue.append(
+                _Request(question, max_candidates, future, trace, queue_span))
             self._condition.notify()
         return future
 
@@ -86,6 +101,9 @@ class MicroBatcher:
             if not drain:
                 while self._queue:
                     request = self._queue.popleft()
+                    if request.queue_span is not None:
+                        request.queue_span.end(status="error",
+                                               error="batcher closed")
                     request.future.set_exception(RuntimeError("batcher closed"))
             self._condition.notify_all()
         self._worker.join(timeout=10.0)
@@ -125,14 +143,24 @@ class MicroBatcher:
         self.batch_sizes[len(batch)] = self.batch_sizes.get(len(batch), 0) + 1
         if self._on_batch is not None:
             self._on_batch(len(batch))
+        for request in batch:
+            if request.queue_span is not None:
+                request.queue_span.annotate(batch_size=len(batch))
+                request.queue_span.end()
         # Group by max_candidates so each group is a single route_batch call.
         groups: dict[int | None, list[_Request]] = {}
         for request in batch:
             groups.setdefault(request.max_candidates, []).append(request)
         for max_candidates, requests in groups.items():
             try:
-                results = self._route_batch([request.question for request in requests],
-                                            max_candidates)
+                if any(request.trace is not None for request in requests):
+                    results = self._route_batch(
+                        [request.question for request in requests],
+                        max_candidates,
+                        [request.trace for request in requests])
+                else:
+                    results = self._route_batch(
+                        [request.question for request in requests], max_candidates)
             except BaseException as error:  # propagate to every waiter
                 for request in requests:
                     request.future.set_exception(error)

@@ -78,8 +78,12 @@ class LatencyRecorder:
         }
 
 
+#: Width of the sliding QPS window, in seconds.
+QPS_WINDOW_SECONDS = 60
+
+
 class MetricsRegistry:
-    """Counters + latency + batch-size accounting for one service instance."""
+    """Counters + latency + batch-size + per-stage accounting for one service."""
 
     def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
         self._clock = clock
@@ -88,14 +92,41 @@ class MetricsRegistry:
         self._counters: dict[str, int] = {}
         self.latency = LatencyRecorder()
         self._batch_sizes: dict[int, int] = {}
+        self._stages: dict[str, LatencyRecorder] = {}
+        # Sliding QPS window: (second-bucket, count) pairs, newest last.
+        self._request_buckets: deque[list[int]] = deque()
 
     # -- recording -----------------------------------------------------------
     def increment(self, name: str, amount: int = 1) -> None:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + amount
+            if name == "requests":
+                self._note_requests_locked(amount)
+
+    def _note_requests_locked(self, amount: int) -> None:
+        second = int(self._clock())
+        buckets = self._request_buckets
+        if buckets and buckets[-1][0] == second:
+            buckets[-1][1] += amount
+        else:
+            buckets.append([second, amount])
+        cutoff = second - QPS_WINDOW_SECONDS
+        while buckets and buckets[0][0] <= cutoff:
+            buckets.popleft()
 
     def observe_latency(self, seconds: float) -> None:
         self.latency.record(seconds)
+
+    def observe_stage(self, name: str, seconds: float) -> None:
+        """Record one duration against a named pipeline stage.
+
+        Stage reservoirs are smaller than the end-to-end one (2048 samples)
+        because a single request contributes to many stages."""
+        with self._lock:
+            recorder = self._stages.get(name)
+            if recorder is None:
+                recorder = self._stages[name] = LatencyRecorder(max_samples=2048)
+        recorder.record(seconds)
 
     def observe_batch(self, size: int) -> None:
         with self._lock:
@@ -110,8 +141,32 @@ class MetricsRegistry:
         return max(self._clock() - self._started, 1e-9)
 
     def qps(self) -> float:
-        """Completed requests per second over the registry's lifetime."""
+        """Completed requests per second over the registry's lifetime.
+
+        Misleading on a long-idle service (the denominator never stops
+        growing); prefer :meth:`window_qps` for a load-responsive reading."""
         return self.counter("requests") / self.uptime_seconds()
+
+    def window_qps(self) -> float:
+        """Requests per second over the trailing :data:`QPS_WINDOW_SECONDS`.
+
+        Unlike :meth:`qps`, this recovers immediately when fresh load hits a
+        service that sat idle: only the last window's buckets count, and the
+        denominator is capped at the window width (and floored at one second
+        so a brand-new registry is not wildly extrapolated)."""
+        now = int(self._clock())
+        cutoff = now - QPS_WINDOW_SECONDS
+        with self._lock:
+            requests = sum(count for second, count in self._request_buckets
+                           if second > cutoff)
+        horizon = max(min(self.uptime_seconds(), float(QPS_WINDOW_SECONDS)), 1.0)
+        return requests / horizon
+
+    def stage_summaries(self) -> dict[str, dict]:
+        """Per-stage latency summaries, keyed by stage name (sorted)."""
+        with self._lock:
+            stages = sorted(self._stages.items())
+        return {name: recorder.summary() for name, recorder in stages}
 
     def batch_size_histogram(self) -> dict[str, int]:
         """Batch-size -> count, with *string* keys: the same shape
@@ -149,7 +204,10 @@ class MetricsRegistry:
             "uptime_seconds": round(uptime, 3),
             "counters": counters,
             "qps": round(counters.get("requests", 0) / uptime, 2),
+            "qps_window": round(self.window_qps(), 2),
+            "qps_window_seconds": QPS_WINDOW_SECONDS,
             "latency": self.latency.summary(),
             "batch_size_histogram": histogram,
             "mean_batch_size": round(batch_total / batches, 2) if batches else 0.0,
+            "stages": self.stage_summaries(),
         }

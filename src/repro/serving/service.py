@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.core.router import SchemaRoute, SchemaRouter
+from repro.obs import Tracer
 from repro.serving.batcher import BatcherConfig, MicroBatcher
 from repro.serving.cache import RouteCache
 from repro.serving.metrics import MetricsRegistry
@@ -41,6 +42,10 @@ class ServingConfig:
     enable_batching: bool = True
     max_batch_size: int = 8
     max_wait_seconds: float = 0.002
+    #: Record a per-request trace (queue/encode/decode/parse spans).
+    enable_tracing: bool = True
+    #: How many slowest complete traces the journal retains as exemplars.
+    trace_exemplars: int = 8
 
 
 class RoutingService:
@@ -53,6 +58,9 @@ class RoutingService:
         self.router = router
         self.config = config or ServingConfig()
         self.metrics = MetricsRegistry()
+        self.tracer = Tracer(metrics=self.metrics,
+                             enabled=self.config.enable_tracing,
+                             max_slow_traces=self.config.trace_exemplars)
         self.cache: RouteCache | None = None
         if self.config.enable_cache:
             self.cache = RouteCache(max_size=self.config.cache_size,
@@ -77,9 +85,12 @@ class RoutingService:
 
     # -- request path --------------------------------------------------------
     def _route_batch_locked(self, questions: Sequence[str],
-                            max_candidates: int | None) -> list[list[SchemaRoute]]:
+                            max_candidates: int | None,
+                            traces: Sequence | None = None) -> list[list[SchemaRoute]]:
         with self._route_lock:
-            return self.router.route_batch(list(questions), max_candidates=max_candidates)
+            return self.router.route_batch(list(questions),
+                                           max_candidates=max_candidates,
+                                           traces=traces)
 
     def submit(self, question: str,
                max_candidates: int | None = None) -> list[SchemaRoute]:
@@ -95,20 +106,45 @@ class RoutingService:
                 self.metrics.increment("cache_hits")
                 self.metrics.observe_latency(time.monotonic() - started)
                 return cached
-        if self._batcher is not None:
-            routes = self._batcher.submit(question, max_candidates).result()
-        else:
-            routes = self._route_batch_locked([question], max_candidates)[0]
-        if self.cache is not None:
-            self.cache.put(question, routes, variant=max_candidates)
-        self.metrics.increment("routed")
-        self.metrics.observe_latency(time.monotonic() - started)
-        return routes
+        # The trace starts only on a cache miss: a hit has no stages worth
+        # recording, and the hit path is a microsecond-scale dict lookup that
+        # a per-request trace allocation would dominate (the tracing layer's
+        # overhead budget is <= 5% of serving throughput).  Cache
+        # effectiveness is observable through the counters instead.
+        trace = self.tracer.start_trace("request", question_chars=len(question))
+        try:
+            if self._batcher is not None:
+                routes = self._batcher.submit(question, max_candidates,
+                                              trace=trace).result()
+            else:
+                routes = self._route_batch_locked(
+                    [question], max_candidates,
+                    traces=[trace] if trace is not None else None)[0]
+            if self.cache is not None:
+                self.cache.put(question, routes, variant=max_candidates)
+            self.metrics.increment("routed")
+            self.metrics.observe_latency(time.monotonic() - started)
+            return routes
+        except BaseException as exc:
+            if trace is not None:
+                trace.finish(status="error", error=f"{type(exc).__name__}: {exc}")
+                trace = None
+            raise
+        finally:
+            if trace is not None:
+                trace.finish()
 
     def submit_many(self, questions: Sequence[str],
-                    max_candidates: int | None = None) -> list[list[SchemaRoute]]:
+                    max_candidates: int | None = None,
+                    trace=None) -> list[list[SchemaRoute]]:
         """Route several questions; repeats are answered from cache, the rest
-        go through the batcher as one coalesced wave."""
+        go through the batcher as one coalesced wave.
+
+        A caller-provided ``trace`` (e.g. a cluster dispatcher's scatter scope)
+        is used for the wave's spans but never finished here; without one, the
+        service starts and finishes its own ``request_wave`` trace -- but only
+        when the wave actually decodes something (see ``submit()``: fully
+        cached waves stay trace-free)."""
         if self._closed:
             raise RuntimeError("the service has been closed")
         started = time.monotonic()
@@ -124,6 +160,32 @@ class RoutingService:
                 results[index] = cached
             else:
                 pending.append(index)
+        owned = None
+        if pending and trace is None:
+            trace = owned = self.tracer.start_trace("request_wave",
+                                                    questions=len(questions))
+        if trace is not None:
+            trace.annotate(cache_hits=len(questions) - len(pending))
+        try:
+            self._route_pending(questions, results, pending, max_candidates,
+                                trace)
+        except BaseException as exc:
+            if owned is not None:
+                owned.finish(status="error", error=f"{type(exc).__name__}: {exc}")
+                owned = None
+            raise
+        finally:
+            if owned is not None:
+                owned.finish()
+        elapsed = time.monotonic() - started
+        for _ in questions:
+            self.metrics.observe_latency(elapsed / max(len(questions), 1))
+        return results  # type: ignore[return-value]
+
+    def _route_pending(self, questions: Sequence[str], results: list,
+                       pending: list[int], max_candidates: int | None,
+                       trace) -> None:
+        """Decode the cache-missing ``pending`` indices into ``results``."""
         # Within one call, identical pending questions are routed once.
         first_index: dict[str, int] = {}
         duplicates: list[tuple[int, int]] = []
@@ -137,13 +199,16 @@ class RoutingService:
                 unique_pending.append(index)
         if unique_pending:
             if self._batcher is not None:
-                futures = [(index, self._batcher.submit(questions[index], max_candidates))
+                futures = [(index, self._batcher.submit(questions[index], max_candidates,
+                                                        trace=trace))
                            for index in unique_pending]
                 for index, future in futures:
                     results[index] = future.result()
             else:
                 routed = self._route_batch_locked(
-                    [questions[index] for index in unique_pending], max_candidates)
+                    [questions[index] for index in unique_pending], max_candidates,
+                    traces=([trace] * len(unique_pending)
+                            if trace is not None else None))
                 for index, routes in zip(unique_pending, routed):
                     results[index] = routes
             for index in unique_pending:
@@ -153,10 +218,6 @@ class RoutingService:
                 self.metrics.increment("routed")
         for index, source in duplicates:
             results[index] = results[source]
-        elapsed = time.monotonic() - started
-        for _ in questions:
-            self.metrics.observe_latency(elapsed / max(len(questions), 1))
-        return results  # type: ignore[return-value]
 
     # -- catalog change hook -------------------------------------------------
     def notify_catalog_changed(self) -> None:
@@ -200,6 +261,7 @@ class RoutingService:
             }
         else:
             snapshot["batcher"] = None
+        snapshot["traces"] = self.tracer.journal.stats()
         return snapshot
 
     # -- lifecycle -----------------------------------------------------------

@@ -12,7 +12,12 @@ core contracts:
 * a worker killed mid-batch is survived: the replica layer fails over, the
   proxy respawns the process from its checkpoint, and no request fails;
 * a request that outlives its timeout kills the wedged process and surfaces
-  as :class:`ShardTimeoutError`, counted in ``shards_timed_out``.
+  as :class:`ShardTimeoutError`, counted in ``shards_timed_out``;
+* a traced request comes back as ONE stitched trace: the worker's spans ride
+  the ``route_response`` frame and splice under the dispatcher's ``wire``
+  span, while protocol-1 peers keep exchanging exactly the old frames;
+* crashed or abandoned shard requests close their spans with an error status
+  instead of leaking open traces.
 """
 
 from __future__ import annotations
@@ -50,6 +55,7 @@ from repro.core import (
     TemplateQuestioner,
     synthesize_training_data,
 )
+from repro.obs import Tracer
 from repro.serving.service import ServingConfig
 
 
@@ -272,6 +278,169 @@ class TestServeLoop:
         assert read_frame(from_worker) is None
         worker.close()
 
+    def test_traceless_requests_get_exactly_the_old_reply_shape(self, cluster_checkpoint):
+        """A protocol-1 dispatcher never sends the ``trace`` field; the reply
+        it gets back must not grow a ``spans`` key it cannot know about."""
+        worker, thread, to_worker, from_worker = self._start(cluster_checkpoint)
+        try:
+            write_frame(to_worker, {"type": "route_batch_request", "id": 1,
+                                    "questions": [QUESTIONS[0]]})
+            reply = read_frame(from_worker)
+            assert reply["type"] == "route_response" and reply["id"] == 1
+            assert "spans" not in reply
+        finally:
+            write_frame(to_worker, {"type": "shutdown", "id": 99})
+            assert read_frame(from_worker)["type"] == "shutdown_ack"
+            thread.join(timeout=10.0)
+            worker.close()
+
+    def test_trace_field_comes_back_as_adopted_spans(self, cluster_checkpoint):
+        """The child-side wire contract: a ``trace`` payload on the request
+        frame makes the worker adopt that trace id and ship its span tree
+        back in ``route_response.spans``."""
+        worker, thread, to_worker, from_worker = self._start(cluster_checkpoint)
+        try:
+            write_frame(to_worker, {
+                "type": "route_batch_request", "id": 1,
+                "questions": [QUESTIONS[0], QUESTIONS[1]],
+                "trace": {"trace_id": "t" * 16, "parent_span_id": "p" * 16},
+            })
+            reply = read_frame(from_worker)
+            assert reply["type"] == "route_response"
+            spans = reply["spans"]
+            assert {span["trace_id"] for span in spans} == {"t" * 16}
+            by_name = {span["name"]: span for span in spans}
+            assert by_name["worker"]["parent_id"] == "p" * 16
+            assert by_name["worker"]["attributes"]["shard"] == 0
+            worker_id = by_name["worker"]["span_id"]
+            for stage in ("encode", "decode", "parse"):
+                assert by_name[stage]["parent_id"] == worker_id
+                assert by_name[stage]["status"] == "ok"
+            assert by_name["decode"]["attributes"]["steps"] >= 1
+        finally:
+            write_frame(to_worker, {"type": "shutdown", "id": 99})
+            assert read_frame(from_worker)["type"] == "shutdown_ack"
+            thread.join(timeout=10.0)
+            worker.close()
+
+
+# -- tracing across the process boundary ---------------------------------------
+class TestTracingOverTheWire:
+    def test_single_request_produces_one_stitched_trace(self, cluster_checkpoint):
+        """The acceptance path: one seeded request through a subprocess-backed
+        cluster yields one complete trace -- per-shard scatter and wire spans,
+        the workers' own encode/decode/parse spans stitched in from across the
+        process boundary, the merge, and (threshold 1.0 forces it) the
+        escalation pass -- all under a single trace id."""
+        sub = load_cluster(cluster_checkpoint,
+                           config=ClusterConfig(worker_backend="subprocess"))
+        try:
+            # the escalation threshold rides the checkpoint (it is a decode
+            # -shape knob); raise it on the live dispatcher so the cascade is
+            # guaranteed to fire (merged top-1 softmax weight is always < 1)
+            sub.dispatcher.escalation_threshold = 1.0
+            routes = sub.submit(QUESTIONS[0], max_candidates=2)
+            assert routes and routes[0].database
+            journal = sub.tracer.journal
+            assert journal.open_trace_count() == 0
+            assert journal.open_span_count() == 0
+            (record,) = journal.slowest()
+            assert record["status"] == "ok"
+            spans = record["spans"]
+            assert {span["trace_id"] for span in spans} == {record["trace_id"]}
+            assert all(span["ended"] is not None for span in spans)
+            by_name: dict[str, list[dict]] = {}
+            for span in spans:
+                by_name.setdefault(span["name"], []).append(span)
+
+            (root,) = by_name["request"]
+            (escalation,) = by_name["escalation"]
+            # each tier merges its own gather: one under the root, one under
+            # the escalation span
+            assert {span["parent_id"] for span in by_name["merge"]} \
+                == {root["span_id"], escalation["span_id"]}
+            # both tiers scatter to both shards: 2 fast + 2 careful arms
+            assert len(by_name["scatter"]) == 4
+            assert len(by_name["wire"]) == 4
+            assert {span["parent_id"] for span in by_name["scatter"]} \
+                == {root["span_id"], escalation["span_id"]}
+            scatter_ids = {span["span_id"] for span in by_name["scatter"]}
+            assert all(span["parent_id"] in scatter_ids
+                       for span in by_name["wire"])
+
+            # the workers' spans crossed the wire: remote, rebased, and
+            # parented under their wire anchors
+            workers = by_name["worker"]
+            assert len(workers) == 4 and all(s["remote"] for s in workers)
+            wire_ids = {span["span_id"] for span in by_name["wire"]}
+            assert all(span["parent_id"] in wire_ids for span in workers)
+            assert {span["attributes"]["shard"] for span in workers} == {0, 1}
+            worker_ids = {span["span_id"] for span in workers}
+            for stage in ("encode", "decode", "parse"):
+                assert len(by_name[stage]) == 4
+                assert all(span["remote"] for span in by_name[stage])
+                assert all(span["parent_id"] in worker_ids
+                           for span in by_name[stage])
+            decode = by_name["decode"][0]
+            assert decode["attributes"]["steps"] >= 1
+            assert "mask_cache_hits" in decode["attributes"]
+            assert "mask_cache_misses" in decode["attributes"]
+
+            # locally-recorded spans feed the cluster's stage breakdown;
+            # the journal summary rides the stats snapshot
+            stats = sub.stats()
+            assert {"request", "scatter", "wire", "merge", "escalation"} \
+                <= set(stats["stages"])
+            assert stats["traces"]["completed"] == 1
+            assert stats["traces"]["slowest"][0]["trace_id"] == record["trace_id"]
+            # ...and the workers recorded their stages against their own
+            # registries (remote spans are never double-counted locally)
+            assert "decode" not in stats["stages"]
+            worker_stats = stats["shards"][0]["workers"][0]
+            assert worker_stats["stages"]["decode"]["count"] >= 1
+        finally:
+            sub.close()
+
+    def test_trace_fields_are_withheld_from_protocol_1_peers(self, cluster_checkpoint):
+        """Interop: a dispatcher that traces must keep speaking old frames to
+        a protocol-1 worker -- no ``trace`` field on the wire, no remote spans
+        expected back, and the request itself still answers."""
+        with ProcShardWorker(0, _shard_dir(cluster_checkpoint)) as worker:
+            assert worker.peer_protocol == PROTOCOL_VERSION
+            worker.peer_protocol = 1  # as if an old worker image answered hello
+            tracer = Tracer()
+            trace = tracer.start_trace("request")
+            routes = worker.route_batch([QUESTIONS[0]], max_candidates=2,
+                                        trace=trace)
+            trace.finish()
+            assert len(routes) == 1 and routes[0]
+            (wire,) = trace.find_spans("wire")
+            assert wire.status == "ok"
+            # the suppressed field means the (actually trace-aware) child saw
+            # no trace and shipped no spans: nothing remote got stitched
+            assert not [span for span in trace.spans() if span.remote]
+            assert tracer.journal.open_trace_count() == 0
+
+    def test_crashed_shard_request_closes_its_span_as_an_error(self, cluster_checkpoint):
+        """The leak guard at the proxy: a worker that dies mid-request ends
+        the ``wire`` span with an error status, and finishing the trace
+        leaves nothing open in the journal."""
+        tracer = Tracer()
+        with ProcShardWorker(0, _shard_dir(cluster_checkpoint),
+                             auto_respawn=False) as worker:
+            worker.crash()
+            trace = tracer.start_trace("request")
+            with pytest.raises(WorkerCrashedError):
+                worker.route_batch([QUESTIONS[0]], trace=trace)
+            trace.finish()
+        (wire,) = trace.find_spans("wire")
+        assert wire.status == "error"
+        assert "WorkerCrashedError" in wire.error
+        assert trace.root.status == "ok"  # the trace completed, fully closed
+        assert tracer.journal.open_trace_count() == 0
+        assert tracer.journal.open_span_count() == 0
+        assert tracer.journal.completed == 1
+
 
 # -- the whole cluster over subprocesses ---------------------------------------
 class TestSubprocessCluster:
@@ -331,7 +500,13 @@ class TestSubprocessCluster:
                 sub.submit_many(list(QUESTIONS[:2]))
             assert victim.is_alive()
             assert victim.respawns >= 1
-            assert sub.stats()["dispatcher"]["shard_failures"] == 0
+            stats = sub.stats()
+            assert stats["dispatcher"]["shard_failures"] == 0
+            # the chaos left no trace half-open: every span of every wave --
+            # including any failed-over shard attempt -- was closed
+            assert stats["traces"]["open_traces"] == 0
+            assert stats["traces"]["open_spans"] == 0
+            assert stats["traces"]["completed"] >= 5
         finally:
             sub.close()
 

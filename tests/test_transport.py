@@ -23,6 +23,7 @@ from repro.cluster.transport import (
     FRAME_MAGIC,
     MAX_FRAME_BYTES,
     MESSAGE_TYPES,
+    MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
     FrameReader,
     FrameTooLargeError,
@@ -189,10 +190,16 @@ class TestHandshake:
                          "shard_id": 2, "databases": ["db_a", "db_b"], "pid": 1234}
         check_protocol(hello)  # does not raise
 
-    @pytest.mark.parametrize("spoken", [0, 2, 99, None, "1"])
+    @pytest.mark.parametrize("spoken", [0, PROTOCOL_VERSION + 1, 99, None, "1",
+                                        True])
     def test_version_mismatch_raises(self, spoken):
         with pytest.raises(VersionMismatchError):
             check_protocol({"type": "hello", "protocol": spoken})
+
+    @pytest.mark.parametrize(
+        "spoken", list(range(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION + 1)))
+    def test_supported_version_range_is_accepted(self, spoken):
+        check_protocol({"type": "hello", "protocol": spoken})  # does not raise
 
     def test_error_message_shape(self):
         frame = error_message(17, ValueError("no such shard"))
