@@ -10,6 +10,11 @@ routes/sec, cache hit rate, and p95 latency so CI can scrape it.
 vs off on the same workload, interleaved rounds, with the tracing-on median
 required to stay within 5%% of tracing-off.  It prints ``OBS_SUMMARY ...``
 (stage-breakdown percentiles, window QPS, overhead) for CI to scrape.
+
+``test_monitor_overhead`` gates the active-monitoring layer the same way: a
+background :class:`repro.obs.Monitor` ticking far faster than production
+would must cost at most 2%% against an unmonitored twin, and the steady-state
+verdict must be ``ok`` with zero alerts.  It prints ``HEALTH_SUMMARY ...``.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ import os
 import statistics
 import time
 
+from repro.obs import Monitor
 from repro.serving import LoadGenerator, RoutingService, ServingConfig, WorkloadConfig
 from repro.utils.tables import ResultTable
 
@@ -147,3 +153,77 @@ def test_tracing_overhead(spider_context):
         <= set(stats["stages"])
     # ...and the whole apparatus cost at most 5% throughput.
     assert on >= 0.95 * off, summary
+
+
+def test_monitor_overhead(spider_context):
+    """Active monitoring must be near-free: a background monitor ticking at
+    0.2s (25x production cadence) costs at most 2% throughput on the
+    tracing-off serving round, and a healthy steady state reports ``ok``
+    with zero alerts.
+
+    Same interleaved-median design as ``test_tracing_overhead``: one
+    monitored and one bare service share the router and alternate rounds.
+    """
+    router = spider_context.copilot.router
+    questions = [example.question for example in spider_context.test_examples()[:40]]
+    generator = LoadGenerator(questions, WORKLOAD)
+
+    def service() -> RoutingService:
+        return RoutingService(router, config=ServingConfig(
+            max_batch_size=8, max_wait_seconds=0.002, cache_size=4096,
+            enable_tracing=False))
+
+    monitored, bare = service(), service()
+    monitor = Monitor(monitored, interval_seconds=0.2).start()
+    try:
+        generator.run(bare.submit)  # unmeasured cache-fill rounds
+        generator.run(monitored.submit)
+        on_rps, off_rps = [], []
+        for _ in range(5):
+            off_rps.append(generator.run(bare.submit).throughput_rps)
+            on_rps.append(generator.run(monitored.submit).throughput_rps)
+        health = monitor.check_now()
+        latest = monitor.tick()  # one final deterministic evaluation
+        monitor_summary = monitor.summary()
+    finally:
+        monitor.close()
+        monitored.close()
+        bare.close()
+
+    on, off = statistics.median(on_rps), statistics.median(off_rps)
+    overhead = 1.0 - on / off
+
+    table = ResultTable(
+        title="Monitor overhead: identical workload, monitor on vs off",
+        columns=["mode", "median_routes_per_sec", "rounds"],
+    )
+    table.add_row("monitor_off", round(off, 1), len(off_rps))
+    table.add_row("monitor_on", round(on, 1), len(on_rps))
+    print()
+    print(table.render())
+
+    summary = {
+        "health_status": health.status,
+        "health_reasons": health.reasons,
+        "alerts": monitor_summary["alerts"],
+        "monitor_ticks": monitor_summary["ticks"],
+        "tick_errors": monitor_summary["tick_errors"],
+        "slo": [{"name": status["name"], "firing": status["firing"],
+                 "fast_burn": status["fast_burn"]}
+                for status in latest["slo"]],
+        "unmonitored_routes_per_sec": round(off, 1),
+        "monitored_routes_per_sec": round(on, 1),
+        "overhead_fraction": round(overhead, 4),
+    }
+    print("HEALTH_SUMMARY " + json.dumps(summary, sort_keys=True))
+
+    # steady state is healthy and quiet: verdict ok, nothing fired, every
+    # tick succeeded...
+    assert health.status == "ok", summary
+    assert monitor_summary["alerts"]["active"] == 0, summary
+    assert monitor_summary["alerts"]["fired"] == 0, summary
+    assert monitor_summary["tick_errors"] == 0, summary
+    assert monitor_summary["ticks"] > 1
+    assert not any(status["firing"] for status in latest["slo"])
+    # ...and watching the service cost at most 2% throughput.
+    assert on >= 0.98 * off, summary

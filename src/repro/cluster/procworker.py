@@ -34,7 +34,9 @@ import subprocess
 import sys
 import threading
 import time
+from collections import deque
 from pathlib import Path
+from typing import Callable
 
 from repro.cluster.dispatcher import ClusterError, ShardTimeoutError
 from repro.cluster.shard import ShardWorker
@@ -234,7 +236,8 @@ class ProcShardWorker:
                  spawn_timeout_seconds: float = 60.0,
                  auto_respawn: bool = True,
                  python_executable: str | None = None,
-                 max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 clock: Callable[[], float] = time.monotonic) -> None:
         self.shard_id = shard_id
         self.checkpoint_dir = Path(checkpoint_dir)
         self.escalation_num_beams = escalation_num_beams
@@ -259,6 +262,13 @@ class ProcShardWorker:
         self.requests_sent = 0
         self.timeouts = 0
         self.crashes = 0
+        self._clock = clock
+        #: When the child last answered anything (set at handshake and on
+        #: every reply) — the heartbeat the health probe ages.
+        self.last_reply_at: float | None = None
+        #: Recent spawn timestamps, for the crash-loop (respawn-velocity)
+        #: probe; bounded, since only the policy window ever matters.
+        self._respawn_times: deque[float] = deque(maxlen=32)
         self._request_id = 0
         self._lock = threading.Lock()
         self._process: subprocess.Popen | None = None
@@ -309,6 +319,8 @@ class ProcShardWorker:
             self.databases = tuple(hello.get("databases", ()))
             self._writer.write({"type": "hello_ack", "protocol": hello["protocol"]},
                                timeout_seconds=self.spawn_timeout_seconds)
+            self.last_reply_at = self._clock()
+            self._respawn_times.append(self._clock())
         except TransportTimeoutError as error:
             self._destroy()
             raise ShardTimeoutError(
@@ -416,6 +428,7 @@ class ProcShardWorker:
             self._destroy()
             raise WorkerCrashedError(
                 f"shard {self.shard_id} worker died mid-request (exit code {code})")
+        self.last_reply_at = self._clock()  # any reply at all is a heartbeat
         if reply.get("type") == "error":
             raise WorkerError(f"shard {self.shard_id} worker: "
                               f"{reply.get('error')}: {reply.get('message')}")
@@ -487,6 +500,62 @@ class ProcShardWorker:
             "the cluster checkpoint and respawn the worker instead")
 
     # -- introspection ---------------------------------------------------------
+    def health(self, policy=None):
+        """Liveness, heartbeat age, respawn velocity, and protocol parity.
+
+        Like :meth:`stats`, this never boots a process as a side effect: a
+        dead child reports ``failing`` and leaves respawning to the request
+        path (or an operator).  A stale heartbeat on an *idle* worker is
+        re-checked with one ping; a busy worker (request in flight, lock
+        held) is working by definition, so staleness is not held against it.
+        """
+        from repro.obs.health import HealthPolicy, HealthReport
+
+        policy = policy or HealthPolicy()
+        report = HealthReport(component=f"shard-{self.shard_id}-procworker")
+        report.details.update(pid=self.pid, respawns=self.respawns,
+                              timeouts=self.timeouts, crashes=self.crashes,
+                              peer_protocol=self.peer_protocol)
+        if self._closed:
+            report.degrade("failing", "worker proxy is closed")
+            return report
+        if not self.is_alive():
+            report.degrade("failing", "worker process is not running")
+            return report
+        now = self._clock()
+        recent = sum(1 for at in self._respawn_times
+                     if now - at <= policy.respawn_window_seconds)
+        report.details["recent_respawns"] = recent
+        # The boot spawn is expected; only respawns *beyond* the first count
+        # against the crash-loop budget.
+        if recent - 1 > policy.max_respawns_in_window:
+            report.degrade("degraded",
+                           f"{recent - 1} respawns in the last "
+                           f"{policy.respawn_window_seconds:g}s (crash loop)")
+        if self.peer_protocol < TRACE_PROTOCOL_VERSION:
+            report.degrade("degraded",
+                           f"peer speaks protocol {self.peer_protocol} < "
+                           f"{TRACE_PROTOCOL_VERSION} (no trace propagation)")
+        age = now - self.last_reply_at if self.last_reply_at is not None else None
+        report.details["heartbeat_age_seconds"] = (
+            round(age, 3) if age is not None else None)
+        if age is not None and age > policy.heartbeat_max_age_seconds:
+            if self._lock.acquire(blocking=False):
+                try:
+                    self._request_locked({"type": "ping"}, "pong",
+                                         self.control_timeout_seconds)
+                except (ClusterError, ProtocolError):
+                    report.degrade("failing",
+                                   f"no reply for {age:.0f}s and the "
+                                   f"health ping failed")
+                finally:
+                    self._lock.release()
+            else:
+                # Lock held -> a request is in flight right now; the child is
+                # busy decoding, not wedged.
+                report.details["heartbeat_check"] = "skipped: request in flight"
+        return report
+
     def transport_stats(self) -> dict:
         return {
             "backend": "subprocess",

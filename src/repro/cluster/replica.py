@@ -138,6 +138,32 @@ class ReplicaSet:
         for replica in self._replicas:
             replica.worker.notify_catalog_changed()
 
+    def health(self, policy=None):
+        """Quarantine fraction plus every replica worker's own verdict.
+
+        Some replicas quarantined means the shard serves with reduced
+        redundancy (``degraded``); all quarantined means requests only
+        succeed through the last-resort retry path (``failing``)."""
+        from repro.obs.health import HealthReport, rollup
+
+        own = HealthReport(component=f"shard-{self.shard_id}")
+        now = self._clock()
+        quarantined = sum(1 for replica in self._replicas
+                          if not replica.healthy(now))
+        own.details.update(num_replicas=len(self._replicas),
+                           quarantined=quarantined,
+                           failovers=self.failovers)
+        if quarantined == len(self._replicas):
+            own.degrade("failing", f"all {quarantined} replicas quarantined")
+        elif quarantined:
+            own.degrade("degraded",
+                        f"{quarantined} of {len(self._replicas)} replicas "
+                        f"quarantined")
+        children = [replica.worker.health(policy)
+                    for replica in self._replicas
+                    if hasattr(replica.worker, "health")]
+        return rollup(f"shard-{self.shard_id}", children, own=own)
+
     def stats(self) -> dict:
         now = self._clock()
         return {

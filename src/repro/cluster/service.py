@@ -28,6 +28,13 @@ from repro.cluster.partition import ShardAssignment, partition_catalog
 from repro.cluster.replica import ReplicaSet
 from repro.cluster.shard import ShardWorker
 from repro.obs import Tracer
+from repro.obs.health import (
+    HealthPolicy,
+    HealthReport,
+    dispatcher_health,
+    error_rate_health,
+    rollup,
+)
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.service import ServingConfig
 
@@ -285,6 +292,7 @@ class ClusterRoutingService:
                 question, max_candidates=max_candidates or self.config.max_candidates,
                 trace=trace)
         except BaseException as exc:
+            self.metrics.increment("errors")
             if trace is not None:
                 trace.finish(status="error", error=f"{type(exc).__name__}: {exc}")
                 trace = None
@@ -312,6 +320,7 @@ class ClusterRoutingService:
                 max_candidates=max_candidates or self.config.max_candidates,
                 trace=trace)
         except BaseException as exc:
+            self.metrics.increment("errors", len(questions))
             if trace is not None:
                 trace.finish(status="error", error=f"{type(exc).__name__}: {exc}")
                 trace = None
@@ -413,6 +422,33 @@ class ClusterRoutingService:
         }
         snapshot["shards"] = shard_stats
         return snapshot
+
+    def health(self, policy: HealthPolicy | None = None) -> HealthReport:
+        """One cluster verdict, rolled up bottom-up.
+
+        Children are the replica sets (which nest their workers, which nest
+        their decode tiers); the cluster's own probes judge its error rate
+        and the dispatcher's shard-timeout / escalation rates.  Per the
+        rollup precedence, one ``failing`` shard degrades the cluster
+        verdict, and only every shard failing fails it outright.
+        """
+        policy = policy or HealthPolicy()
+        own = HealthReport(component="cluster")
+        if self._closed:
+            own.degrade("failing", "cluster service is closed")
+            return own
+        counters = self.metrics.counters()
+        error_rate_health(own, counters, policy)
+        dispatcher_health(
+            own,
+            {"shard_failures": self.dispatcher.shard_failures,
+             "shards_timed_out": self.dispatcher.shards_timed_out,
+             "escalations": self.dispatcher.escalations},
+            counters.get("requests", 0), policy)
+        own.details["num_shards"] = self.num_shards
+        own.details["worker_backend"] = self.config.worker_backend
+        children = [replica_set.health(policy) for replica_set in self._shards]
+        return rollup("cluster", children, own=own)
 
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:

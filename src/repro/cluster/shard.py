@@ -163,6 +163,21 @@ class ShardWorker:
             self.careful_service.notify_catalog_changed()
 
     # -- introspection / lifecycle ------------------------------------------
+    def health(self, policy=None):
+        """Both decode tiers' verdicts rolled up under one worker report."""
+        from repro.obs.health import rollup
+
+        fast = self.service.health(policy)
+        fast.component = "fast_tier"
+        children = [fast]
+        if self.careful_service is not None:
+            careful = self.careful_service.health(policy)
+            careful.component = "careful_tier"
+            children.append(careful)
+        report = rollup(f"shard-{self.shard_id}-worker", children)
+        report.details["databases"] = len(self.databases)
+        return report
+
     def stats(self) -> dict:
         stats = self.service.stats()
         stats["shard_id"] = self.shard_id

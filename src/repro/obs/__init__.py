@@ -9,7 +9,18 @@ merge, escalation -- as a tree of spans per request:
   retention, and remote-span stitching for subprocess workers;
 * :mod:`repro.obs.export` -- zero-dependency renderers turning any
   ``stats()`` snapshot into Prometheus text format or JSON lines, plus the
-  ``python -m repro.obs.export`` CLI.
+  ``python -m repro.obs.export`` CLI;
+* :mod:`repro.obs.health` -- :class:`HealthReport` /
+  :class:`HealthPolicy` and the stats-dict probes behind every layer's
+  ``health()``, rolled up bottom-up into one verdict;
+* :mod:`repro.obs.slo` -- declarative :class:`SloSpec`s, the multi-window
+  burn-rate :class:`SloEngine`, the deduplicating :class:`AlertJournal`,
+  and EWMA stage-latency baselines;
+* :mod:`repro.obs.monitor` -- the background :class:`Monitor` thread
+  (snapshot → evaluate → journal on a loop);
+* :mod:`repro.obs.httpd` -- the ``python -m repro.obs.httpd`` ops daemon
+  serving ``/healthz`` ``/metrics`` ``/slo`` ``/alerts`` ``/traces``
+  ``/stats``.
 
 Span durations additionally feed per-stage
 :class:`repro.serving.metrics.LatencyRecorder` reservoirs, so
@@ -17,6 +28,7 @@ Span durations additionally feed per-stage
 individual traces have been dropped from the journal.
 """
 
+from repro.obs.health import HealthPolicy, HealthReport, worst_status
 from repro.obs.trace import (
     ScopedTrace,
     Span,
@@ -37,26 +49,48 @@ __all__ = [
     "distinct_traces",
     "maybe_span",
     "stage_spans",
+    "HealthPolicy",
+    "HealthReport",
+    "worst_status",
     "flatten_snapshot",
     "parse_json_lines",
     "parse_prometheus",
     "to_json_lines",
     "to_prometheus",
+    "AlertJournal",
+    "EwmaBaselineTracker",
+    "SloEngine",
+    "SloSpec",
+    "default_slo_specs",
+    "Monitor",
+    "OpsServer",
 ]
 
-#: Exporter symbols resolve lazily (PEP 562) so importing :mod:`repro.obs`
-#: does not pre-import :mod:`repro.obs.export` -- ``python -m
-#: repro.obs.export`` would otherwise re-execute an already-loaded module
-#: and print a runpy ``RuntimeWarning`` on every CLI invocation.
-_EXPORT_SYMBOLS = frozenset({
-    "flatten_snapshot", "parse_json_lines", "parse_prometheus",
-    "to_json_lines", "to_prometheus",
-})
+#: Exporter / SLO / monitor / httpd symbols resolve lazily (PEP 562) so
+#: importing :mod:`repro.obs` does not pre-import their modules --
+#: ``python -m repro.obs.export`` and ``python -m repro.obs.httpd`` would
+#: otherwise re-execute an already-loaded module and print a runpy
+#: ``RuntimeWarning`` on every CLI invocation.
+_LAZY_SYMBOLS = {
+    "flatten_snapshot": "repro.obs.export",
+    "parse_json_lines": "repro.obs.export",
+    "parse_prometheus": "repro.obs.export",
+    "to_json_lines": "repro.obs.export",
+    "to_prometheus": "repro.obs.export",
+    "AlertJournal": "repro.obs.slo",
+    "EwmaBaselineTracker": "repro.obs.slo",
+    "SloEngine": "repro.obs.slo",
+    "SloSpec": "repro.obs.slo",
+    "default_slo_specs": "repro.obs.slo",
+    "Monitor": "repro.obs.monitor",
+    "OpsServer": "repro.obs.httpd",
+}
 
 
 def __getattr__(name: str):
-    if name in _EXPORT_SYMBOLS:
-        from repro.obs import export
+    module_name = _LAZY_SYMBOLS.get(name)
+    if module_name is not None:
+        import importlib
 
-        return getattr(export, name)
+        return getattr(importlib.import_module(module_name), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

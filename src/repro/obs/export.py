@@ -27,6 +27,18 @@ _NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
 
 Sample = tuple[str, dict, float]
 
+#: Leaf field names whose values only ever go up (lifetime counters across
+#: the serving / cluster / transport layers).  Samples ending in one of
+#: these — or living under a ``counters`` dict — are typed ``counter`` in
+#: the Prometheus rendering; everything else stays a ``gauge``.
+_MONOTONIC_LEAVES = frozenset({
+    "hits", "misses", "evictions", "expirations", "invalidations",
+    "completed", "errors", "failovers", "successes", "failures",
+    "escalations", "shard_failures", "shards_timed_out", "partial_gathers",
+    "requests_sent", "timeouts", "crashes", "respawns",
+    "batches_dispatched", "requests_dispatched",
+})
+
 
 def _sanitize(part: str) -> str:
     """A snapshot key as a metric-name component (may come back empty)."""
@@ -41,7 +53,14 @@ def flatten_snapshot(snapshot: dict, prefix: str = "repro") -> list[Sample]:
     like the batch-size histogram's bucket keys), in which case the key
     becomes a label named after the enclosing field.  List items are
     labelled by index.  Strings and ``None`` are dropped -- exporters carry
-    numbers, not configuration."""
+    numbers, not configuration.
+
+    A latency summary (a dict carrying both ``count`` and a ``buckets``
+    sub-dict of cumulative counts keyed by upper bound, as
+    :meth:`repro.serving.metrics.LatencyRecorder.summary` emits) additionally
+    yields real Prometheus histogram series — ``{name}_seconds_bucket`` with
+    ``le`` labels plus ``{name}_seconds_sum`` / ``{name}_seconds_count`` —
+    so ``histogram_quantile()`` works on ingested data."""
     samples: list[Sample] = []
 
     def walk(name: str, leaf: str, labels: dict, value) -> None:
@@ -50,7 +69,20 @@ def flatten_snapshot(snapshot: dict, prefix: str = "repro") -> list[Sample]:
         elif isinstance(value, (int, float)):
             samples.append((name, labels, float(value)))
         elif isinstance(value, dict):
+            buckets = value.get("buckets")
+            histogram = isinstance(buckets, dict) and "count" in value
+            if histogram:
+                family = f"{name}_seconds"
+                for bound, count in buckets.items():
+                    samples.append((f"{family}_bucket",
+                                    {**labels, "le": str(bound)}, float(count)))
+                samples.append((f"{family}_sum", labels,
+                                float(value.get("total_seconds", 0.0))))
+                samples.append((f"{family}_count", labels,
+                                float(value["count"])))
             for key, item in value.items():
+                if histogram and key == "buckets":
+                    continue  # already rendered as the _bucket series
                 part = _sanitize(key)
                 if part and not part[0].isdigit():
                     walk(f"{name}_{part}", part, labels, item)
@@ -82,17 +114,45 @@ def _unescape_label(value: str) -> str:
             .replace("\\\\", "\\"))
 
 
+def _histogram_families(samples: Iterable[Sample]) -> set[str]:
+    """Family names that carry cumulative ``_bucket{le=...}`` series."""
+    return {name[:-len("_bucket")] for name, labels, _ in samples
+            if name.endswith("_bucket") and "le" in labels}
+
+
+def _sample_type(name: str, families: set[str]) -> tuple[str, str]:
+    """``(type_name, metric_type)`` of one sample.
+
+    Histogram members (``_bucket`` / ``_sum`` / ``_count`` of a family that
+    has bucket series) are typed once under the family name; monotonic
+    counters are typed ``counter``; everything else is a ``gauge``."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[:-len(suffix)] in families:
+            return name[:-len(suffix)], "histogram"
+    if "_counters_" in name or any(name.endswith(f"_{leaf}")
+                                   for leaf in _MONOTONIC_LEAVES):
+        return name, "counter"
+    return name, "gauge"
+
+
 def to_prometheus(snapshot: dict, prefix: str = "repro") -> str:
     """Render a snapshot in Prometheus text exposition format.
 
     Values print via ``repr(float(...))`` so parsing the text back yields
-    bit-identical floats (the round-trip contract with the JSON exporter)."""
+    bit-identical floats (the round-trip contract with the JSON exporter).
+    ``# TYPE`` lines are semantically honest: lifetime counters are typed
+    ``counter``, latency-recorder bucket series are typed ``histogram``
+    (one line per family, covering its ``_bucket``/``_sum``/``_count``),
+    and everything else stays ``gauge``."""
+    samples = flatten_snapshot(snapshot, prefix=prefix)
+    families = _histogram_families(samples)
     lines: list[str] = []
     typed: set[str] = set()
-    for name, labels, value in flatten_snapshot(snapshot, prefix=prefix):
-        if name not in typed:
-            typed.add(name)
-            lines.append(f"# TYPE {name} gauge")
+    for name, labels, value in samples:
+        type_name, metric_type = _sample_type(name, families)
+        if type_name not in typed:
+            typed.add(type_name)
+            lines.append(f"# TYPE {type_name} {metric_type}")
         if labels:
             rendered = ",".join(
                 f'{key}="{_escape_label(str(labels[key]))}"'

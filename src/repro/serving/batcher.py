@@ -92,6 +92,12 @@ class MicroBatcher:
             self._condition.notify()
         return future
 
+    def queue_depth(self) -> int:
+        """Requests enqueued but not yet collected by the worker thread —
+        the backlog the health probe judges against ``max_batch_size``."""
+        with self._condition:
+            return len(self._queue)
+
     def close(self, drain: bool = True) -> None:
         """Stop the worker; with ``drain`` the queue is served first."""
         with self._condition:

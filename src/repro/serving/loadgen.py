@@ -35,11 +35,20 @@ class WorkloadConfig:
     #: model hot-shard traffic without capping the distinct-question tail.
     distribution: str = "head"
     seed: int = 0
-    #: "closed" (back-to-back) or "paced" (open loop at ``target_qps``).
+    #: "closed" (back-to-back), "paced" (open loop at ``target_qps``), or
+    #: "burst" (paced with an overload spike window -- the reproducible
+    #: SLO-violation scenario).
     mode: str = "closed"
     target_qps: float = 0.0
     #: Client threads for closed-loop mode.
     concurrency: int = 1
+    #: Burst mode: the spike window's QPS (must exceed ``target_qps``)...
+    burst_qps: float = 0.0
+    #: ...covering the requests from ``burst_start_fraction`` of the stream
+    #: to ``burst_start_fraction + burst_fraction`` (by request index, so the
+    #: envelope is deterministic for a given config).
+    burst_start_fraction: float = 0.4
+    burst_fraction: float = 0.2
 
     def __post_init__(self) -> None:
         if self.num_requests <= 0:
@@ -50,12 +59,20 @@ class WorkloadConfig:
             raise ValueError(f"unknown distribution {self.distribution!r}")
         if self.skew < 0:
             raise ValueError("skew must be non-negative")
-        if self.mode not in ("closed", "paced"):
+        if self.mode not in ("closed", "paced", "burst"):
             raise ValueError(f"unknown mode {self.mode!r}")
-        if self.mode == "paced" and self.target_qps <= 0:
-            raise ValueError("paced mode requires a positive target_qps")
+        if self.mode in ("paced", "burst") and self.target_qps <= 0:
+            raise ValueError(f"{self.mode} mode requires a positive target_qps")
         if self.concurrency <= 0:
             raise ValueError("concurrency must be positive")
+        if self.mode == "burst":
+            if self.burst_qps <= self.target_qps:
+                raise ValueError("burst mode requires burst_qps > target_qps")
+            if not 0.0 <= self.burst_start_fraction < 1.0:
+                raise ValueError("burst_start_fraction must be in [0, 1)")
+            if not 0.0 < self.burst_fraction <= 1.0 - self.burst_start_fraction:
+                raise ValueError("burst_fraction must fit inside the stream "
+                                 "after burst_start_fraction")
 
 
 @dataclass
@@ -67,15 +84,21 @@ class LoadReport:
     duration_seconds: float = 0.0
     throughput_rps: float = 0.0
     latency: dict = field(default_factory=dict)
+    #: Burst mode only: per-phase ("steady" / "burst") latency summaries.
+    phases: dict = field(default_factory=dict)
 
     def to_json(self) -> dict:
-        return {
+        report = {
             "num_requests": self.num_requests,
             "errors": self.errors,
             "duration_seconds": round(self.duration_seconds, 4),
             "throughput_rps": round(self.throughput_rps, 2),
             "latency": dict(self.latency),
         }
+        if self.phases:
+            report["phases"] = {name: dict(summary)
+                                for name, summary in self.phases.items()}
+        return report
 
 
 class LoadGenerator:
@@ -101,11 +124,36 @@ class LoadGenerator:
         weights = [1.0 / (rank + 1) ** config.skew for rank in range(len(pool))]
         return [rng.weighted_choice(pool, weights) for _ in range(config.num_requests)]
 
+    def phase_of(self, index: int) -> str:
+        """Which pacing phase request ``index`` belongs to (burst mode)."""
+        config = self.config
+        if config.mode != "burst":
+            return "steady"
+        start = int(config.num_requests * config.burst_start_fraction)
+        end = start + max(1, int(config.num_requests * config.burst_fraction))
+        return "burst" if start <= index < end else "steady"
+
+    def schedule(self) -> list[float]:
+        """Release offsets (seconds from start) for paced / burst modes.
+
+        Deterministic for a given config: steady requests are spaced at
+        ``1 / target_qps``, burst-phase requests at ``1 / burst_qps`` -- a
+        QPS envelope with a spike window, so an overload scenario replays
+        identically run after run."""
+        offsets: list[float] = []
+        at = 0.0
+        for index in range(self.config.num_requests):
+            offsets.append(at)
+            qps = self.config.burst_qps if self.phase_of(index) == "burst" \
+                else self.config.target_qps
+            at += 1.0 / qps
+        return offsets
+
     # -- driving -------------------------------------------------------------
     def run(self, submit: Callable[[str], object]) -> LoadReport:
         """Drive ``submit`` with the workload and measure it."""
         requests = self.workload()
-        if self.config.mode == "paced":
+        if self.config.mode in ("paced", "burst"):
             return self._run_paced(submit, requests)
         return self._run_closed(submit, requests)
 
@@ -176,12 +224,12 @@ class LoadGenerator:
     def _run_paced(self, submit: Callable[[str], object],
                    requests: list[str]) -> LoadReport:
         recorder = LatencyRecorder(max_samples=len(requests))
+        phase_recorders: dict[str, LatencyRecorder] = {}
         errors = 0
-        interval = 1.0 / self.config.target_qps
+        offsets = self.schedule()
         started = time.monotonic()
         for index, question in enumerate(requests):
-            scheduled = started + index * interval
-            delay = scheduled - time.monotonic()
+            delay = started + offsets[index] - time.monotonic()
             if delay > 0:
                 time.sleep(delay)
             request_started = time.monotonic()
@@ -189,9 +237,20 @@ class LoadGenerator:
                 submit(question)
             except Exception:
                 errors += 1
-            recorder.record(time.monotonic() - request_started)
+            elapsed = time.monotonic() - request_started
+            recorder.record(elapsed)
+            if self.config.mode == "burst":
+                phase = self.phase_of(index)
+                phase_recorder = phase_recorders.get(phase)
+                if phase_recorder is None:
+                    phase_recorder = phase_recorders[phase] = \
+                        LatencyRecorder(max_samples=len(requests))
+                phase_recorder.record(elapsed)
         duration = max(time.monotonic() - started, 1e-9)
-        return self._report(requests, errors, duration, recorder)
+        report = self._report(requests, errors, duration, recorder)
+        report.phases = {phase: phase_recorder.summary()
+                         for phase, phase_recorder in sorted(phase_recorders.items())}
+        return report
 
     def _report(self, requests: list[str], errors: int, duration: float,
                 recorder: LatencyRecorder) -> LoadReport:

@@ -8,32 +8,70 @@ long-running service does not grow without bound.
 
 from __future__ import annotations
 
+import bisect
 import math
 import threading
 import time
 from collections import deque
 from typing import Callable
 
+#: Histogram bucket upper bounds in seconds (log-spaced, Prometheus-style).
+#: Observations above the last bound land only in the implicit ``+Inf``
+#: bucket.  Bucket counts are cumulative-from-birth, not reservoir-bounded:
+#: Prometheus histograms are monotonic series, and ``rate()`` over them needs
+#: counts that never go backwards.
+BUCKET_BOUNDS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
 
 class LatencyRecorder:
-    """Bounded reservoir of latency observations with percentile queries."""
+    """Bounded reservoir of latency observations with percentile queries.
+
+    ``count`` / ``total_seconds`` / ``max_seconds`` are exposed as
+    lock-guarded properties; :meth:`totals` reads all three under one lock
+    acquisition when a caller needs them mutually consistent.
+    """
 
     def __init__(self, max_samples: int = 8192) -> None:
         if max_samples <= 0:
             raise ValueError("max_samples must be positive")
         self._samples: deque[float] = deque(maxlen=max_samples)
         self._lock = threading.Lock()
-        self.count = 0
-        self.total_seconds = 0.0
-        self.max_seconds = 0.0
+        self._count = 0
+        self._total_seconds = 0.0
+        self._max_seconds = 0.0
+        self._bucket_counts = [0] * (len(BUCKET_BOUNDS) + 1)  # last = +Inf
 
     def record(self, seconds: float) -> None:
         with self._lock:
             self._samples.append(seconds)
-            self.count += 1
-            self.total_seconds += seconds
-            if seconds > self.max_seconds:
-                self.max_seconds = seconds
+            self._count += 1
+            self._total_seconds += seconds
+            if seconds > self._max_seconds:
+                self._max_seconds = seconds
+            self._bucket_counts[bisect.bisect_left(BUCKET_BOUNDS, seconds)] += 1
+
+    # -- locked accessors ----------------------------------------------------
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def total_seconds(self) -> float:
+        with self._lock:
+            return self._total_seconds
+
+    @property
+    def max_seconds(self) -> float:
+        with self._lock:
+            return self._max_seconds
+
+    def totals(self) -> tuple[int, float, float]:
+        """One consistent ``(count, total_seconds, max_seconds)`` read —
+        unlike three property reads, no :meth:`record` can land in between."""
+        with self._lock:
+            return self._count, self._total_seconds, self._max_seconds
 
     @staticmethod
     def _percentile_of(samples: list[float], percent: float) -> float:
@@ -51,30 +89,42 @@ class LatencyRecorder:
 
     @property
     def mean_seconds(self) -> float:
-        with self._lock:
-            return self.total_seconds / self.count if self.count else 0.0
+        count, total_seconds, _ = self.totals()
+        return total_seconds / count if count else 0.0
 
     def summary(self) -> dict:
         """A consistent snapshot: all fields reflect one point in time.
 
-        Count, mean, max, and every percentile are read under a single lock
-        acquisition, so concurrent :meth:`record` calls can never produce a
-        summary whose count and percentiles disagree.  An empty window yields
-        zeros throughout instead of raising.
+        Count, mean, max, every percentile, and the histogram buckets are
+        read under a single lock acquisition, so concurrent :meth:`record`
+        calls can never produce a summary whose count and percentiles
+        disagree.  An empty window yields zeros throughout instead of
+        raising.  ``buckets`` holds *cumulative* counts keyed by upper bound
+        (string keys, JSON-safe, ``"+Inf"`` last) — the shape the exporter
+        renders as a Prometheus histogram.
         """
         with self._lock:
             samples = sorted(self._samples)
-            count = self.count
-            total_seconds = self.total_seconds
-            max_seconds = self.max_seconds
+            count = self._count
+            total_seconds = self._total_seconds
+            max_seconds = self._max_seconds
+            bucket_counts = list(self._bucket_counts)
         mean_seconds = total_seconds / count if count else 0.0
+        buckets: dict[str, int] = {}
+        cumulative = 0
+        for bound, bucket in zip(BUCKET_BOUNDS, bucket_counts):
+            cumulative += bucket
+            buckets[str(bound)] = cumulative
+        buckets["+Inf"] = count
         return {
             "count": count,
+            "total_seconds": round(total_seconds, 6),
             "mean_ms": round(mean_seconds * 1000.0, 3),
             "p50_ms": round(self._percentile_of(samples, 50.0) * 1000.0, 3),
             "p95_ms": round(self._percentile_of(samples, 95.0) * 1000.0, 3),
             "p99_ms": round(self._percentile_of(samples, 99.0) * 1000.0, 3),
             "max_ms": round(max_seconds * 1000.0, 3),
+            "buckets": buckets,
         }
 
 
@@ -136,6 +186,11 @@ class MetricsRegistry:
     def counter(self, name: str) -> int:
         with self._lock:
             return self._counters.get(name, 0)
+
+    def counters(self) -> dict[str, int]:
+        """All counters under one lock acquisition (mutually consistent)."""
+        with self._lock:
+            return dict(self._counters)
 
     def uptime_seconds(self) -> float:
         return max(self._clock() - self._started, 1e-9)

@@ -25,6 +25,14 @@ from typing import Sequence
 
 from repro.core.router import SchemaRoute, SchemaRouter
 from repro.obs import Tracer
+from repro.obs.health import (
+    HealthPolicy,
+    HealthReport,
+    cache_health,
+    error_rate_health,
+    queue_health,
+    rollup,
+)
 from repro.serving.batcher import BatcherConfig, MicroBatcher
 from repro.serving.cache import RouteCache
 from repro.serving.metrics import MetricsRegistry
@@ -126,6 +134,7 @@ class RoutingService:
             self.metrics.observe_latency(time.monotonic() - started)
             return routes
         except BaseException as exc:
+            self.metrics.increment("errors")
             if trace is not None:
                 trace.finish(status="error", error=f"{type(exc).__name__}: {exc}")
                 trace = None
@@ -170,6 +179,7 @@ class RoutingService:
             self._route_pending(questions, results, pending, max_candidates,
                                 trace)
         except BaseException as exc:
+            self.metrics.increment("errors", len(pending))
             if owned is not None:
                 owned.finish(status="error", error=f"{type(exc).__name__}: {exc}")
                 owned = None
@@ -263,6 +273,26 @@ class RoutingService:
             snapshot["batcher"] = None
         snapshot["traces"] = self.tracer.journal.stats()
         return snapshot
+
+    def health(self, policy: HealthPolicy | None = None) -> HealthReport:
+        """This service's verdict: error rate, batcher backlog, route cache.
+
+        The report nests one ``route_cache`` child (when caching is on);
+        child verdicts follow the rollup precedence in
+        :mod:`repro.obs.health`."""
+        policy = policy or HealthPolicy()
+        own = HealthReport(component="routing_service")
+        if self._closed:
+            own.degrade("failing", "service is closed")
+            return own
+        error_rate_health(own, self.metrics.counters(), policy)
+        if self._batcher is not None:
+            queue_health(own, self._batcher.queue_depth(),
+                         self.config.max_batch_size, policy)
+        children = []
+        if self.cache is not None:
+            children.append(cache_health(self.cache.stats(), policy))
+        return rollup("routing_service", children, own=own)
 
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:

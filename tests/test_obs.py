@@ -405,6 +405,50 @@ class TestExporters:
         with pytest.raises(ValueError):
             parse_prometheus("{not a series}")
 
+    def test_counter_and_histogram_type_lines(self):
+        snapshot = {
+            "counters": {"requests": 40, "errors": 2},
+            "cache": {"hits": 5, "misses": 2, "hit_rate": 0.71},
+            "latency": {"count": 2, "total_seconds": 0.3, "p95_ms": 200.0,
+                        "buckets": {"0.1": 1, "0.25": 2, "+Inf": 2}},
+        }
+        text = to_prometheus(snapshot)
+        lines = text.splitlines()
+        # monotonic counters are typed honestly, ratios stay gauges
+        assert "# TYPE repro_counters_requests counter" in lines
+        assert "# TYPE repro_cache_hits counter" in lines
+        assert "# TYPE repro_cache_hit_rate gauge" in lines
+        # the recorder summary yields one histogram family, typed once...
+        assert lines.count("# TYPE repro_latency_seconds histogram") == 1
+        assert not any(line.startswith("# TYPE repro_latency_seconds_bucket")
+                       for line in lines)
+        # ...with cumulative le-labelled buckets plus _sum/_count series
+        assert 'repro_latency_seconds_bucket{le="0.1"} 1.0' in lines
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 2.0' in lines
+        assert "repro_latency_seconds_sum 0.3" in lines
+        assert "repro_latency_seconds_count 2.0" in lines
+        # typing never broke the round-trip contract
+        assert parse_prometheus(text) == [
+            (name, {str(key): str(val) for key, val in labels.items()}, value)
+            for name, labels, value in flatten_snapshot(snapshot)]
+
+    def test_live_latency_summary_exports_histogram_series(self, trained_router):
+        from repro.serving import RoutingService, ServingConfig
+
+        service = RoutingService(trained_router,
+                                 config=ServingConfig(enable_batching=False))
+        try:
+            service.submit("Which databases mention concerts?")
+            text = to_prometheus(service.stats())
+        finally:
+            service.close()
+        samples = parse_prometheus(text)
+        bucket_counts = [value for name, labels, value in samples
+                         if name == "repro_latency_seconds_bucket"]
+        assert bucket_counts == sorted(bucket_counts)  # cumulative
+        assert bucket_counts[-1] == 1.0  # +Inf bucket counts every request
+        assert ("repro_latency_seconds_count", {}, 1.0) in samples
+
     def test_label_escaping_round_trips(self):
         # a digit-leading key cannot extend the metric name, so it becomes a
         # label -- whose value needs quote/backslash/newline escaping

@@ -324,8 +324,12 @@ class TestMetrics:
         assert recorder.percentile(50) == 0.0
         assert recorder.percentile(99) == 0.0
         summary = recorder.summary()
-        assert summary == {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0,
-                           "p95_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+        buckets = summary.pop("buckets")
+        assert all(count == 0 for count in buckets.values())
+        assert buckets["+Inf"] == 0
+        assert summary == {"count": 0, "total_seconds": 0.0, "mean_ms": 0.0,
+                           "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0,
+                           "max_ms": 0.0}
         empty_registry_snapshot = MetricsRegistry().snapshot()
         assert empty_registry_snapshot["qps"] == 0.0
         assert empty_registry_snapshot["mean_batch_size"] == 0.0
@@ -506,6 +510,40 @@ class TestLoadGenerator:
         assert report.errors == 0
         assert report.latency["count"] == 20
 
+    def test_burst_schedule_is_a_deterministic_qps_envelope(self):
+        config = WorkloadConfig(num_requests=20, mode="burst", target_qps=100.0,
+                                burst_qps=1000.0, burst_start_fraction=0.5,
+                                burst_fraction=0.25, seed=2)
+        generator = LoadGenerator(QUESTIONS, config)
+        offsets = generator.schedule()
+        assert offsets == LoadGenerator(QUESTIONS, config).schedule()
+        assert offsets[0] == 0.0
+        assert offsets == sorted(offsets)
+        # Spike window: requests 10..14 released at burst spacing (1ms), the
+        # steady phases at 10ms.
+        gaps = [second - first for first, second in zip(offsets, offsets[1:])]
+        assert gaps[4] == pytest.approx(0.010)
+        assert gaps[10] == pytest.approx(0.001)
+        assert [generator.phase_of(index) for index in range(20)].count("burst") == 5
+
+    def test_burst_run_reports_per_phase_latency(self):
+        config = WorkloadConfig(num_requests=30, mode="burst", target_qps=500.0,
+                                burst_qps=5000.0, burst_start_fraction=0.4,
+                                burst_fraction=0.2, seed=7)
+        report = LoadGenerator(QUESTIONS, config).run(lambda question: [])
+        assert report.num_requests == 30
+        assert set(report.phases) == {"burst", "steady"}
+        burst_count = report.phases["burst"]["count"]
+        assert burst_count == 6
+        assert report.phases["steady"]["count"] == 24
+        assert "phases" in report.to_json()
+        # Paced mode keeps the flat report shape.
+        paced = LoadGenerator(QUESTIONS, WorkloadConfig(
+            num_requests=5, mode="paced", target_qps=1000.0, seed=7)).run(
+                lambda question: [])
+        assert paced.phases == {}
+        assert "phases" not in paced.to_json()
+
     def test_invalid_configs_rejected(self):
         with pytest.raises(ValueError):
             WorkloadConfig(num_requests=0)
@@ -519,3 +557,15 @@ class TestLoadGenerator:
             LoadGenerator([], WorkloadConfig())
         with pytest.raises(ValueError):
             LoadGenerator(QUESTIONS).run_batched(lambda wave: wave, batch_size=0)
+
+    def test_invalid_burst_configs_rejected(self):
+        with pytest.raises(ValueError):  # burst needs a positive steady rate
+            WorkloadConfig(mode="burst", burst_qps=100.0)
+        with pytest.raises(ValueError):  # the spike must exceed the steady rate
+            WorkloadConfig(mode="burst", target_qps=100.0, burst_qps=50.0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(mode="burst", target_qps=10.0, burst_qps=100.0,
+                           burst_start_fraction=1.0)
+        with pytest.raises(ValueError):  # spike must fit inside the stream
+            WorkloadConfig(mode="burst", target_qps=10.0, burst_qps=100.0,
+                           burst_start_fraction=0.8, burst_fraction=0.5)
