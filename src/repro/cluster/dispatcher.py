@@ -119,6 +119,20 @@ class ClusterDispatcher:
     def num_shards(self) -> int:
         return len(self.targets)
 
+    def set_escalation_threshold(self, threshold: float) -> None:
+        """Retune the confidence gate of a live cascade.
+
+        The control plane's adaptive gate calls this between waves; the new
+        threshold applies to the next ``route_batch``.  Raises when the
+        cascade is disabled (no careful tier to escalate to) -- retuning a
+        gate that gates nothing would silently do nothing.
+        """
+        if self.careful_targets is None:
+            raise ValueError("no careful tier: the escalation cascade is disabled")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("escalation_threshold must be in (0, 1]")
+        self.escalation_threshold = threshold
+
     # -- request path --------------------------------------------------------
     def route(self, question: str, max_candidates: int | None = None,
               trace=None) -> list[SchemaRoute]:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import shutil
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -35,7 +36,11 @@ from repro.obs.health import (
     error_rate_health,
     rollup,
 )
-from repro.serving.metrics import MetricsRegistry
+from repro.serving.metrics import (
+    MetricsRegistry,
+    QPS_WINDOW_SECONDS,
+    WindowedCounter,
+)
 from repro.serving.service import ServingConfig
 
 #: Supported shard-worker backends.
@@ -194,6 +199,13 @@ class ClusterRoutingService:
             for replica_set in self._shards:
                 if replica_set.attempt_timeout_seconds is None:
                     replica_set.attempt_timeout_seconds = self.config.shard_timeout_seconds
+        # Routed-load window: per-database counters of merged top-1 answers.
+        # In a scatter-gather cluster every shard sees every question, so
+        # request QPS is flat across shards by construction; which databases
+        # *win* the questions is the only load signal that distinguishes a
+        # hot shard, and the control plane's rebalancer feeds on it.
+        self._load_lock = threading.Lock()
+        self._routed_windows: dict[str, WindowedCounter] = {}
         #: A temp checkpoint directory this service wrote for its own
         #: subprocess workers (removed on close); None when the caller owns it.
         self._owned_checkpoint_dir: Path | None = None
@@ -301,6 +313,7 @@ class ClusterRoutingService:
             if trace is not None:
                 trace.finish()
         self.metrics.increment("routed")
+        self._note_routed([routes])
         self.metrics.observe_latency(time.monotonic() - started)
         return routes
 
@@ -329,10 +342,52 @@ class ClusterRoutingService:
             if trace is not None:
                 trace.finish()
         self.metrics.increment("routed", len(questions))
+        self._note_routed(results)
         elapsed = time.monotonic() - started
         for _ in questions:
             self.metrics.observe_latency(elapsed / len(questions))
         return results
+
+    def _note_routed(self, results: Sequence[list[SchemaRoute]]) -> None:
+        """Record each question's merged top-1 database in its load window."""
+        for routes in results:
+            if not routes:
+                continue
+            database = routes[0].database
+            with self._load_lock:
+                window = self._routed_windows.get(database)
+                if window is None:
+                    window = self._routed_windows[database] = WindowedCounter()
+            window.note()
+
+    def routing_load(self) -> dict:
+        """Who is winning the traffic: trailing-window routed-answer counts.
+
+        ``per_database`` maps database name to how many questions it answered
+        (as merged top-1) inside the window; ``per_shard`` sums those counts
+        under the current assignment, which is the rebalancer's hot/cold
+        signal.  Databases whose window has fully expired are dropped, so a
+        yesterday's-hot-set database does not linger at zero forever.
+        """
+        with self._load_lock:
+            windows = list(self._routed_windows.items())
+        per_database = {}
+        for name, window in sorted(windows):
+            count = window.total()
+            if count:
+                per_database[name] = count
+        per_shard = [0] * self.num_shards
+        for name, count in per_database.items():
+            try:
+                per_shard[self.assignment.shard_of(name)] += count
+            except KeyError:
+                continue  # routed to a database since dropped from the catalog
+        return {
+            "window_seconds": QPS_WINDOW_SECONDS,
+            "total": sum(per_database.values()),
+            "per_database": per_database,
+            "per_shard": per_shard,
+        }
 
     # -- topology ------------------------------------------------------------
     @property
@@ -385,6 +440,7 @@ class ClusterRoutingService:
             entry = replica_set.stats()
             entry["workers"] = [worker.stats() for worker in replica_set.workers]
             qps = 0.0
+            window_qps = 0.0
             for worker_stats in entry["workers"]:
                 # Count both decode tiers: escalated traffic goes through the
                 # careful service, whose counters live under "careful".
@@ -395,11 +451,13 @@ class ClusterRoutingService:
                     total_requests += counters.get("requests", 0)
                     total_hits += counters.get("cache_hits", 0)
                     qps += tier["qps"]
+                    window_qps += tier.get("qps_window", 0.0)
                     tier_cache = tier.get("cache")
                     if tier_cache:
                         for key in cache_rollup:
                             cache_rollup[key] += tier_cache.get(key, 0)
             entry["qps"] = round(qps, 2)
+            entry["qps_window"] = round(window_qps, 2)
             shard_stats.append(entry)
         lookups = cache_rollup["hits"] + cache_rollup["misses"]
         cache_rollup["hit_rate"] = (round(cache_rollup["hits"] / lookups, 4)
@@ -414,6 +472,7 @@ class ClusterRoutingService:
                                       if total_requests else 0.0)
         snapshot["cache"] = cache_rollup
         snapshot["traces"] = self.tracer.journal.stats()
+        snapshot["routing_load"] = self.routing_load()
         snapshot["dispatcher"] = {
             "shard_failures": self.dispatcher.shard_failures,
             "shards_timed_out": self.dispatcher.shards_timed_out,

@@ -1,0 +1,36 @@
+"""The workload-adaptive control plane (ROADMAP item 3).
+
+PR 6 made the system observable, PR 7 made it judge itself; this package
+makes it *react*:
+
+* :mod:`repro.control.admission` — token-bucket + queue-depth/burn-gated
+  admission at the serving front, so overload degrades to bounded-latency
+  shedding (a typed, fast :class:`AdmissionRejected`) instead of collapse;
+* :mod:`repro.control.adaptive` — the escalation confidence gate learned
+  from routed traffic (EWMA rate control inside frozen bounds) instead of
+  the fixed 0.8;
+* :mod:`repro.control.controller` — the :class:`Controller` closing the
+  loop each monitor tick: SLO burn into admission, escalation counters into
+  the adaptive gate, and the per-database routed-load window into
+  :class:`repro.cluster.ClusterRebalancer` under hysteresis.
+"""
+
+from repro.control.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionRejected,
+    REJECT_REASONS,
+)
+from repro.control.adaptive import AdaptiveEscalationConfig, AdaptiveEscalationGate
+from repro.control.controller import Controller, ControllerConfig
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AdmissionRejected",
+    "REJECT_REASONS",
+    "AdaptiveEscalationConfig",
+    "AdaptiveEscalationGate",
+    "Controller",
+    "ControllerConfig",
+]

@@ -1,0 +1,128 @@
+"""Adaptive escalation threshold: learn the dispatcher's confidence gate.
+
+The cluster's two-tier cascade escalates a question to the careful (wide
+beam) tier when its merged top-1 confidence falls below a threshold — fixed
+at 0.8 since PR 2.  The right value depends on the traffic: an easy workload
+escalates almost nothing at 0.8, a hard one escalates most of it and erases
+the fast tier's win.  :class:`AdaptiveEscalationGate` replaces the constant
+with a feedback loop: observe the *escalation rate* of routed traffic, smooth
+it with an EWMA, and nudge the threshold so the rate converges on a declared
+target — escalating too often lowers the gate, too rarely raises it.
+
+The loop is deliberately conservative:
+
+* adjustments happen only after ``min_requests`` new routed questions, so a
+  quiet cluster never drifts on noise;
+* the threshold is clamped to frozen ``[min_threshold, max_threshold]``
+  bounds — the gate can tune *within* a band an operator chose, it can never
+  disable escalation or escalate everything;
+* the per-observation step is proportional to the (smoothed) rate error and
+  capped by ``max_step``, so one pathological window cannot slam the gate.
+
+The gate itself is pure bookkeeping — the :class:`repro.control.Controller`
+feeds it cumulative counters each tick and applies the returned threshold to
+the dispatcher.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AdaptiveEscalationConfig:
+    """Frozen bounds and dynamics of one adaptive gate."""
+
+    #: The escalation-rate setpoint the loop converges on.
+    target_rate: float = 0.10
+    #: Frozen band the learned threshold may move in.
+    min_threshold: float = 0.50
+    max_threshold: float = 0.95
+    #: Threshold change per unit of (smoothed) rate error.
+    gain: float = 0.25
+    #: Hard cap on a single observation's threshold change.
+    max_step: float = 0.05
+    #: EWMA smoothing factor for the observed rate (1.0 = no smoothing).
+    alpha: float = 0.3
+    #: Minimum routed questions between adjustments.
+    min_requests: int = 16
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.target_rate <= 1.0:
+            raise ValueError("target_rate must be in [0, 1]")
+        if not 0.0 < self.min_threshold <= self.max_threshold <= 1.0:
+            raise ValueError("need 0 < min_threshold <= max_threshold <= 1")
+        if self.gain <= 0 or self.max_step <= 0:
+            raise ValueError("gain and max_step must be positive")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if self.min_requests < 1:
+            raise ValueError("min_requests must be >= 1")
+
+
+class AdaptiveEscalationGate:
+    """EWMA-smoothed escalation-rate controller for the confidence gate."""
+
+    def __init__(self, config: AdaptiveEscalationConfig | None = None,
+                 initial_threshold: float = 0.8) -> None:
+        self.config = config or AdaptiveEscalationConfig()
+        self.threshold = min(max(initial_threshold, self.config.min_threshold),
+                             self.config.max_threshold)
+        self._lock = threading.Lock()
+        self._last_requests = 0
+        self._last_escalations = 0
+        self._ewma_rate: float | None = None
+        self.observations = 0
+        self.adjustments = 0
+
+    def observe_cumulative(self, requests: int, escalations: int) -> float | None:
+        """Fold cumulative ``(requests, escalations)`` counters in.
+
+        Returns the (possibly adjusted) threshold once at least
+        ``min_requests`` new questions accumulated since the last
+        adjustment, None otherwise.  Counter resets (a restarted service)
+        re-anchor the baseline instead of producing negative deltas.
+        """
+        config = self.config
+        with self._lock:
+            delta_requests = requests - self._last_requests
+            delta_escalations = escalations - self._last_escalations
+            if delta_requests < 0 or delta_escalations < 0:
+                self._last_requests = requests
+                self._last_escalations = escalations
+                return None
+            if delta_requests < config.min_requests:
+                return None
+            self._last_requests = requests
+            self._last_escalations = escalations
+            rate = min(max(delta_escalations / delta_requests, 0.0), 1.0)
+            if self._ewma_rate is None:
+                self._ewma_rate = rate
+            else:
+                self._ewma_rate = (config.alpha * rate
+                                   + (1.0 - config.alpha) * self._ewma_rate)
+            # Escalation fires when confidence < threshold, so a rate above
+            # target means the gate sits too high: step the threshold *down*
+            # by the (capped) proportional error, and vice versa.
+            error = self._ewma_rate - config.target_rate
+            step = min(max(config.gain * error, -config.max_step), config.max_step)
+            adjusted = min(max(self.threshold - step, config.min_threshold),
+                           config.max_threshold)
+            if abs(adjusted - self.threshold) > 1e-12:
+                self.adjustments += 1
+            self.threshold = adjusted
+            self.observations += 1
+            return self.threshold
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "threshold": round(self.threshold, 4),
+                "target_rate": self.config.target_rate,
+                "ewma_rate": (round(self._ewma_rate, 4)
+                              if self._ewma_rate is not None else None),
+                "bounds": [self.config.min_threshold, self.config.max_threshold],
+                "observations": self.observations,
+                "adjustments": self.adjustments,
+            }

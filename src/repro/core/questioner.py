@@ -29,7 +29,6 @@ from repro.nn.seq2seq import Seq2SeqConfig, Seq2SeqModel
 from repro.nn.tokenizer import Vocabulary, WordTokenizer
 from repro.nn.trainer import Seq2SeqTrainer, TrainerConfig
 from repro.schema.catalog import Catalog
-from repro.schema.column import ColumnType
 from repro.schema.table import Table
 from repro.utils.rng import SeededRng
 from repro.utils.text import pluralize, tokenize_text

@@ -13,7 +13,6 @@ Five ablations of the router are compared against the full system:
 
 from __future__ import annotations
 
-from repro.core import DBCopilotConfig, DBCopilot
 from repro.core.router import SchemaRouter
 from repro.core.synthesis import SyntheticExample
 from repro.experiments.context import CollectionContext

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.datasets.examples import BenchmarkDataset, Example
+from repro.datasets.examples import Example
 from repro.engine.comparison import results_equivalent
 from repro.engine.instance import CatalogInstance
 from repro.engine.relation import Relation

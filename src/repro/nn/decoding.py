@@ -60,7 +60,7 @@ from repro.nn.seq2seq import EncodedSource, Seq2SeqModel
 #: set-like collection, shared and possibly immutable, so callers must not
 #: mutate it (an empty collection means "only EOS is allowed"; None means
 #: "unconstrained at this prefix").
-Constraint = Callable[[Sequence[int]], "AbstractSet[int] | None"]
+Constraint = Callable[[Sequence[int]], AbstractSet[int] | None]
 
 #: Candidate tuples rank by their first field (the accumulated score); the
 #: C-implemented getter keeps the hot selection sorts free of Python frames.

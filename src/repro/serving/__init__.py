@@ -29,7 +29,16 @@ from repro.serving.checkpoint import (
     load_router,
     save_router,
 )
-from repro.serving.loadgen import LoadGenerator, LoadReport, WorkloadConfig
+from repro.serving.loadgen import (
+    LoadGenerator,
+    LoadReport,
+    ScenarioConfig,
+    ScenarioDriver,
+    ScenarioPhase,
+    ScenarioReport,
+    WorkloadConfig,
+    named_scenario,
+)
 from repro.serving.metrics import LatencyRecorder, MetricsRegistry
 from repro.serving.service import RoutingService, ServingConfig
 
@@ -46,7 +55,12 @@ __all__ = [
     "save_router",
     "LoadGenerator",
     "LoadReport",
+    "ScenarioConfig",
+    "ScenarioDriver",
+    "ScenarioPhase",
+    "ScenarioReport",
     "WorkloadConfig",
+    "named_scenario",
     "LatencyRecorder",
     "MetricsRegistry",
     "RoutingService",

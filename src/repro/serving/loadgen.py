@@ -6,6 +6,20 @@ a question pool — with Zipf-like repetition so cache behavior is realistic —
 then drives any ``submit``-style callable either closed-loop (optionally with
 several client threads) or paced at a target QPS, and reports throughput and
 latency percentiles.
+
+On top of the single-envelope generator sits the scenario driver: a
+:class:`ScenarioDriver` plays a sequence of :class:`ScenarioPhase` segments —
+each with its own QPS, distribution, and hot set — against a service, with
+two properties the control-plane benchmarks need:
+
+* **schedule-relative latency**: every request has a deterministic release
+  time, and its recorded latency is *completion minus scheduled release*.
+  A service falling behind cannot hide the backlog in between-request gaps
+  (the coordinated-omission mistake); collapse shows up as unbounded lag.
+* **shed accounting**: a fast, typed
+  :class:`repro.control.admission.AdmissionRejected` counts as *shed*, not
+  as an error, and per-phase shed fractions are reported — the bench's
+  "degrades instead of collapses" evidence.
 """
 
 from __future__ import annotations
@@ -15,6 +29,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.control.admission import AdmissionRejected
 from repro.serving.metrics import LatencyRecorder
 from repro.utils.rng import SeededRng
 
@@ -260,4 +275,261 @@ class LoadGenerator:
             duration_seconds=duration,
             throughput_rps=len(requests) / duration,
             latency=recorder.summary(),
+        )
+
+
+# -- scenario driver -----------------------------------------------------------
+#: Scenario names :func:`named_scenario` knows how to build.
+SCENARIO_NAMES = ("steady", "burst", "shift_hot_set")
+
+
+@dataclass(frozen=True)
+class ScenarioPhase:
+    """One segment of a scenario: its own QPS and its own traffic shape."""
+
+    name: str
+    #: Share of the scenario's ``num_requests`` this phase plays.
+    fraction: float
+    qps: float
+    #: Question-mix shape, as in :class:`WorkloadConfig`.
+    distribution: str = "head"
+    skew: float = 1.0
+    unique_fraction: float = 0.25
+    #: Rotate the question pool by this many positions before drawing, so a
+    #: later phase's *head* (its hot set) is a different slice of the pool —
+    #: the "shift-hot-set" scenario is exactly a hot_offset change.
+    hot_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a phase needs a name")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if self.qps <= 0:
+            raise ValueError("qps must be positive")
+        if self.distribution not in ("head", "zipf"):
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+        if self.skew < 0:
+            raise ValueError("skew must be non-negative")
+        if not 0.0 < self.unique_fraction <= 1.0:
+            raise ValueError("unique_fraction must be in (0, 1]")
+        if self.hot_offset < 0:
+            raise ValueError("hot_offset must be non-negative")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """A named sequence of phases over one request budget."""
+
+    phases: tuple[ScenarioPhase, ...]
+    num_requests: int = 300
+    seed: int = 0
+    name: str = "scenario"
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("a scenario needs at least one phase")
+        if self.num_requests < len(self.phases):
+            raise ValueError("need at least one request per phase")
+        total = sum(phase.fraction for phase in self.phases)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"phase fractions must sum to 1, not {total:g}")
+
+    def phase_lengths(self) -> list[int]:
+        """Requests per phase: floors first, the last phase absorbs the
+        remainder (every phase is guaranteed at least one request)."""
+        lengths = [max(1, int(self.num_requests * phase.fraction))
+                   for phase in self.phases[:-1]]
+        lengths.append(max(1, self.num_requests - sum(lengths)))
+        return lengths
+
+
+def named_scenario(name: str, num_requests: int = 300, qps: float = 50.0,
+                   seed: int = 0, burst_factor: float = 3.0) -> ScenarioConfig:
+    """The stock scenarios, parameterized by a base QPS envelope.
+
+    * ``steady`` — one flat phase at ``qps``;
+    * ``burst`` — steady, then a ``burst_factor`` x overload spike, then
+      steady again (the shed-then-recover scenario);
+    * ``shift_hot_set`` — flat QPS whose hot question set rotates mid-run
+      (the rebalancer's split-then-settle scenario).
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if qps <= 0:
+        raise ValueError("qps must be positive")
+    if burst_factor <= 1.0:
+        raise ValueError("burst_factor must exceed 1")
+    if name == "steady":
+        phases = (ScenarioPhase("steady", 1.0, qps),)
+    elif name == "burst":
+        phases = (ScenarioPhase("warmup", 0.3, qps),
+                  ScenarioPhase("burst", 0.4, qps * burst_factor),
+                  ScenarioPhase("recover", 0.3, qps))
+    elif name == "shift_hot_set":
+        phases = (ScenarioPhase("hot_a", 0.5, qps, skew=2.0),
+                  ScenarioPhase("hot_b", 0.5, qps, skew=2.0, hot_offset=64))
+    else:
+        raise ValueError(f"unknown scenario {name!r} "
+                         f"(expected one of {SCENARIO_NAMES})")
+    return ScenarioConfig(phases=phases, num_requests=num_requests,
+                          seed=seed, name=name)
+
+
+@dataclass
+class ScenarioReport:
+    """Outcome of one scenario run."""
+
+    scenario: str = "scenario"
+    num_requests: int = 0
+    admitted: int = 0
+    shed: int = 0
+    errors: int = 0
+    duration_seconds: float = 0.0
+    throughput_rps: float = 0.0
+    #: Schedule-relative latency of *admitted* requests (completion minus
+    #: scheduled release — backlog is latency, not a hidden gap).
+    latency: dict = field(default_factory=dict)
+    #: Worst schedule lag observed across every request, admitted or not.
+    max_lag_seconds: float = 0.0
+    #: Per-phase name -> {requests, admitted, shed, errors, shed_fraction,
+    #: latency} in phase order.
+    phases: dict = field(default_factory=dict)
+
+    @property
+    def shed_fraction(self) -> float:
+        return self.shed / self.num_requests if self.num_requests else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "num_requests": self.num_requests,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "shed_fraction": round(self.shed_fraction, 4),
+            "errors": self.errors,
+            "duration_seconds": round(self.duration_seconds, 4),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "max_lag_seconds": round(self.max_lag_seconds, 4),
+            "latency": dict(self.latency),
+            "phases": {name: dict(summary)
+                       for name, summary in self.phases.items()},
+        }
+
+
+class ScenarioDriver:
+    """Plays a :class:`ScenarioConfig` against a ``submit`` callable."""
+
+    def __init__(self, questions: Sequence[str],
+                 config: ScenarioConfig) -> None:
+        if not questions:
+            raise ValueError("the question pool must not be empty")
+        self.questions = list(questions)
+        self.config = config
+
+    # -- deterministic planning ----------------------------------------------
+    def plan(self) -> list[tuple[str, str]]:
+        """The full request stream as ``(phase_name, question)`` pairs: same
+        config + pool => same stream, always."""
+        stream: list[tuple[str, str]] = []
+        lengths = self.config.phase_lengths()
+        for index, (phase, length) in enumerate(zip(self.config.phases, lengths)):
+            rng = SeededRng(self.config.seed).child(f"phase:{index}:{phase.name}")
+            offset = phase.hot_offset % len(self.questions)
+            rotated = self.questions[offset:] + self.questions[:offset]
+            if phase.distribution == "zipf":
+                pool = rotated
+            else:
+                pool_size = max(1, min(len(rotated),
+                                       round(length * phase.unique_fraction)))
+                pool = rotated[:pool_size]
+            weights = [1.0 / (rank + 1) ** phase.skew
+                       for rank in range(len(pool))]
+            stream.extend((phase.name, rng.weighted_choice(pool, weights))
+                          for _ in range(length))
+        return stream
+
+    def schedule(self) -> list[float]:
+        """Deterministic release offsets (seconds from start): requests of a
+        phase are spaced at ``1 / phase.qps``."""
+        offsets: list[float] = []
+        at = 0.0
+        lengths = self.config.phase_lengths()
+        for phase, length in zip(self.config.phases, lengths):
+            spacing = 1.0 / phase.qps
+            for _ in range(length):
+                offsets.append(at)
+                at += spacing
+        return offsets
+
+    # -- driving -------------------------------------------------------------
+    def run(self, submit: Callable[[str], object],
+            on_progress: Callable[[int, int], None] | None = None,
+            progress_every: int = 100) -> ScenarioReport:
+        """Open-loop paced run: release per :meth:`schedule`, record
+        schedule-relative latency, count :class:`AdmissionRejected` as shed."""
+        if progress_every <= 0:
+            raise ValueError("progress_every must be positive")
+        stream = self.plan()
+        offsets = self.schedule()
+        recorder = LatencyRecorder(max_samples=len(stream))
+        phase_stats: dict[str, dict] = {}
+        for phase in self.config.phases:
+            phase_stats.setdefault(phase.name, {
+                "requests": 0, "admitted": 0, "shed": 0, "errors": 0,
+                "recorder": LatencyRecorder(max_samples=len(stream)),
+            })
+        admitted = shed = errors = 0
+        max_lag = 0.0
+        started = time.monotonic()
+        for index, (phase_name, question) in enumerate(stream):
+            release = started + offsets[index]
+            delay = release - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            stats = phase_stats[phase_name]
+            stats["requests"] += 1
+            try:
+                submit(question)
+            except AdmissionRejected:
+                shed += 1
+                stats["shed"] += 1
+            except Exception:
+                errors += 1
+                stats["errors"] += 1
+            else:
+                admitted += 1
+                stats["admitted"] += 1
+                lag = time.monotonic() - release
+                recorder.record(lag)
+                stats["recorder"].record(lag)
+            max_lag = max(max_lag, time.monotonic() - release)
+            if on_progress is not None and (index + 1) % progress_every == 0:
+                on_progress(index + 1, len(stream))
+        duration = max(time.monotonic() - started, 1e-9)
+        phases = {}
+        for phase in self.config.phases:
+            stats = phase_stats[phase.name]
+            if phase.name in phases:
+                continue
+            phases[phase.name] = {
+                "requests": stats["requests"],
+                "admitted": stats["admitted"],
+                "shed": stats["shed"],
+                "errors": stats["errors"],
+                "shed_fraction": (round(stats["shed"] / stats["requests"], 4)
+                                  if stats["requests"] else 0.0),
+                "latency": stats["recorder"].summary(),
+            }
+        return ScenarioReport(
+            scenario=self.config.name,
+            num_requests=len(stream),
+            admitted=admitted,
+            shed=shed,
+            errors=errors,
+            duration_seconds=duration,
+            throughput_rps=admitted / duration,
+            latency=recorder.summary(),
+            max_lag_seconds=max_lag,
+            phases=phases,
         )

@@ -132,6 +132,44 @@ class LatencyRecorder:
 QPS_WINDOW_SECONDS = 60
 
 
+class WindowedCounter:
+    """A counter summed over a trailing window (per-second buckets).
+
+    The sliding-QPS bookkeeping inside :class:`MetricsRegistry`, factored
+    out so other layers can maintain their own load windows — the cluster
+    service keeps one per database to know which catalogs are winning the
+    routed traffic *right now* (the controller's hot-shard signal), where a
+    cumulative counter would forever remember last hour's hot set.
+    """
+
+    def __init__(self, window_seconds: int = QPS_WINDOW_SECONDS,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        self.window_seconds = window_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: deque[list[int]] = deque()
+
+    def note(self, amount: int = 1) -> None:
+        second = int(self._clock())
+        with self._lock:
+            if self._buckets and self._buckets[-1][0] == second:
+                self._buckets[-1][1] += amount
+            else:
+                self._buckets.append([second, amount])
+            cutoff = second - self.window_seconds
+            while self._buckets and self._buckets[0][0] <= cutoff:
+                self._buckets.popleft()
+
+    def total(self) -> int:
+        """Events inside the trailing window (expired buckets dropped)."""
+        cutoff = int(self._clock()) - self.window_seconds
+        with self._lock:
+            return sum(count for second, count in self._buckets
+                       if second > cutoff)
+
+
 class MetricsRegistry:
     """Counters + latency + batch-size + per-stage accounting for one service."""
 

@@ -23,11 +23,17 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
+from repro.control.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionRejected,
+)
 from repro.core.router import SchemaRoute, SchemaRouter
 from repro.obs import Tracer
 from repro.obs.health import (
     HealthPolicy,
     HealthReport,
+    admission_health,
     cache_health,
     error_rate_health,
     queue_health,
@@ -54,17 +60,27 @@ class ServingConfig:
     enable_tracing: bool = True
     #: How many slowest complete traces the journal retains as exemplars.
     trace_exemplars: int = 8
+    #: Admission control at the service front (None = admit everything).
+    #: Only cache *misses* are gated: a hit costs microseconds and shedding
+    #: it would hurt the caller without protecting the decode path.
+    admission: AdmissionPolicy | None = None
 
 
 class RoutingService:
     """Serves schema-routing requests from a trained router."""
 
-    def __init__(self, router: SchemaRouter, config: ServingConfig | None = None) -> None:
+    def __init__(self, router: SchemaRouter, config: ServingConfig | None = None,
+                 admission: AdmissionController | None = None) -> None:
         if not router.is_trained:
             raise ValueError("RoutingService requires a trained router "
                              "(train with fit() or load a checkpoint)")
         self.router = router
         self.config = config or ServingConfig()
+        #: A caller-built controller wins (tests inject clocks through it);
+        #: otherwise the config's policy builds one; otherwise admission off.
+        self.admission = admission
+        if self.admission is None and self.config.admission is not None:
+            self.admission = AdmissionController(self.config.admission)
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(metrics=self.metrics,
                              enabled=self.config.enable_tracing,
@@ -92,6 +108,31 @@ class RoutingService:
         return cls(SchemaRouter.from_checkpoint(path), config=config)
 
     # -- request path --------------------------------------------------------
+    def _admit(self, weight: int, question_chars: int) -> None:
+        """Pass ``weight`` cache-missing requests through admission control.
+
+        A rejection is counted (``admission_rejected``), journaled as a
+        zero-stage trace with the machine-readable reason (so shed traffic
+        is visible in the trace journal, not just as a counter), and
+        re-raised — the typed :class:`AdmissionRejected` is the bounded-
+        latency degradation contract with the caller.
+        """
+        if self.admission is None:
+            return
+        queue_depth = (self._batcher.queue_depth()
+                       if self._batcher is not None else None)
+        try:
+            self.admission.admit(weight=weight, queue_depth=queue_depth,
+                                 queue_capacity=self.config.max_batch_size)
+        except AdmissionRejected as rejection:
+            self.metrics.increment("admission_rejected", weight)
+            trace = self.tracer.start_trace("request",
+                                            question_chars=question_chars,
+                                            admission=rejection.reason)
+            if trace is not None:
+                trace.finish(status="rejected", error=str(rejection))
+            raise
+
     def _route_batch_locked(self, questions: Sequence[str],
                             max_candidates: int | None,
                             traces: Sequence | None = None) -> list[list[SchemaRoute]]:
@@ -114,6 +155,10 @@ class RoutingService:
                 self.metrics.increment("cache_hits")
                 self.metrics.observe_latency(time.monotonic() - started)
                 return cached
+        # Admission happens after the cache and before any queueing: a shed
+        # request costs one counter bump and a typed exception, never a
+        # batcher slot or a decode.
+        self._admit(1, question_chars=len(question))
         # The trace starts only on a cache miss: a hit has no stages worth
         # recording, and the hit path is a microsecond-scale dict lookup that
         # a per-request trace allocation would dominate (the tracing layer's
@@ -169,6 +214,14 @@ class RoutingService:
                 results[index] = cached
             else:
                 pending.append(index)
+        if pending:
+            # One atomic decision for the wave: either the whole cache-missing
+            # remainder is admitted or the wave fails fast as a unit (mixing
+            # routed answers with per-question rejections in one return value
+            # would push the shedding contract onto every caller).
+            self._admit(len(pending),
+                        question_chars=sum(len(questions[index])
+                                           for index in pending))
         owned = None
         if pending and trace is None:
             trace = owned = self.tracer.start_trace("request_wave",
@@ -272,6 +325,8 @@ class RoutingService:
         else:
             snapshot["batcher"] = None
         snapshot["traces"] = self.tracer.journal.stats()
+        snapshot["admission"] = (self.admission.stats()
+                                 if self.admission is not None else None)
         return snapshot
 
     def health(self, policy: HealthPolicy | None = None) -> HealthReport:
@@ -289,6 +344,8 @@ class RoutingService:
         if self._batcher is not None:
             queue_health(own, self._batcher.queue_depth(),
                          self.config.max_batch_size, policy)
+        if self.admission is not None:
+            admission_health(own, self.admission.stats())
         children = []
         if self.cache is not None:
             children.append(cache_health(self.cache.stats(), policy))

@@ -9,7 +9,7 @@ Example 3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Union
 
 from repro.engine.values import Value

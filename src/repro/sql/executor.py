@@ -24,7 +24,6 @@ from repro.sql.ast import (
     InSubquery,
     Join,
     Literal,
-    OrderItem,
     ScalarSubquery,
     SelectItem,
     SelectStatement,
@@ -32,7 +31,6 @@ from repro.sql.ast import (
 )
 from repro.sql.errors import SqlExecutionError
 from repro.sql.parser import parse_sql
-from repro.sql.printer import to_sql
 
 
 @dataclass

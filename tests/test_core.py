@@ -18,7 +18,6 @@ from repro.core import (
     SchemaRouter,
     SchemaSampler,
     SynthesisConfig,
-    SyntheticExample,
     TemplateQuestioner,
     NeuralQuestioner,
     basic_serialize,

@@ -12,7 +12,7 @@ from repro.engine import (
     results_equivalent,
 )
 from repro.engine.values import canonical, coerce_value, values_equal
-from repro.schema import Column, ColumnType, Database, Table
+from repro.schema import ColumnType
 
 
 class TestValues:

@@ -7,7 +7,7 @@ import pytest
 from repro.core import DBCopilot, DBCopilotConfig, RouterConfig, SynthesisConfig
 from repro.core.router import SchemaRouter
 from repro.experiments import ExperimentConfig, clear_context_cache, get_context
-from repro.experiments.routing import evaluate_method, routing_table
+from repro.experiments.routing import evaluate_method
 from repro.llm import PromptStrategy, SchemaAgnosticNL2SQL, SimulatedLLM, evaluate_nl2sql
 from repro.retrieval import BM25Retriever, build_table_documents, evaluate_routing
 

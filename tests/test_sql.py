@@ -12,7 +12,7 @@ from repro.sql import (
     parse_sql,
     to_sql,
 )
-from repro.sql.ast import BinaryOp, ColumnRef, Literal, SelectStatement, iter_subqueries
+from repro.sql.ast import BinaryOp, Literal, iter_subqueries
 
 
 class TestParser:
