@@ -26,10 +26,19 @@ Asserted properties:
 * **throughput** -- on cache-disabled twins (so the decode path is what is
   measured), the inproc 4-shard cluster holds >= 0.7x the single-shard
   routes/sec (a parity floor: scatter-gather must not collapse under the
-  vectorized baseline; measured ~0.95x).  The subprocess backend pays IPC
+  vectorized baseline; measured ~0.95x).  Both sides are measured
+  ``MEASURE_ROUNDS`` times, interleaved, and gated on their best round, so
+  background interference on a shared smoke core cannot sink one side of
+  the ratio.  The subprocess backend pays IPC
   per wave and wins via real cores, so its throughput is *recorded* (CI
   uploads the summary) rather than gated -- smoke runners have unpredictable
   core counts.
+* **wave decode** -- with ``--wave-decode`` (inproc only), the throughput
+  cluster runs dense wave decode over shard-sliced vocabularies: one stacked
+  kernel stream per step for the whole fleet instead of one thread-pool call
+  per shard, and each shard's output head sliced to its own sub-catalog.
+  This restores a real single-core win, gated at >= 1.5x the vectorized
+  monolith at >= 0.99 top-1 agreement with it (measured ~1.7x / 0.995).
 
 A one-line ``CLUSTER_SUMMARY {...}`` JSON is printed for CI scraping, like
 ``bench_serving_throughput``'s ``SERVING_SUMMARY``.
@@ -49,9 +58,21 @@ WORKLOAD = WorkloadConfig(
     num_requests=int(os.environ.get("REPRO_BENCH_REQUESTS", "200")),
     distribution="zipf", skew=1.0, seed=29)
 WAVE_SIZE = 16
+#: Interleaved measurement rounds per side; each side is gated on its best
+#: round.  Smoke runners share one core with background processes, so a
+#: single-shot measurement of either side can be 30%+ slow -- interleaving
+#: spreads the interference across both sides and best-of picks the
+#: least-disturbed round (the standard minimum-time estimator).
+MEASURE_ROUNDS = 3
 
 
-def test_cluster_scaling(benchmark, spider_context, spider_cluster, cluster_backend):
+def test_cluster_scaling(benchmark, spider_context, spider_cluster, cluster_backend,
+                         wave_decode):
+    if wave_decode and cluster_backend != "inproc":
+        import pytest
+
+        pytest.skip("wave decode requires the inproc backend (subprocess "
+                    "workers fall back to the pool path)")
     master = spider_cluster.master_router
     questions = [example.question for example in spider_context.test_examples()[:40]]
     generator = LoadGenerator(questions, WORKLOAD)
@@ -77,9 +98,24 @@ def test_cluster_scaling(benchmark, spider_context, spider_cluster, cluster_back
     cluster = ClusterRoutingService.from_router(
         master, ClusterConfig(num_shards=4, strategy="size_balanced",
                               enable_cache=False,
-                              worker_backend=cluster_backend))
+                              worker_backend=cluster_backend,
+                              wave_decode=wave_decode,
+                              sliced_vocabulary=wave_decode))
     backend_agreement_rate = None
+    wave_agreement_rate = None
     with single, cluster:
+        if wave_decode:
+            assert cluster.wave_engine is not None, cluster._wave_disabled_reason
+            # Wave fidelity: the wave cluster's merged top-1 vs the monolith
+            # (the agreement the 1.5x speedup gate is conditioned on).
+            wave_routes = dict(zip(distinct, cluster.submit_many(distinct,
+                                                                 max_candidates=1)))
+            wave_agreements = sum(
+                1 for question in workload
+                if monolithic[question] and wave_routes[question]
+                and monolithic[question][0].database == wave_routes[question][0].database
+            )
+            wave_agreement_rate = wave_agreements / len(workload)
         if cluster_backend == "subprocess":
             # Backend fidelity: the same questions through the wire protocol
             # must reproduce the inproc cluster's routing decisions.
@@ -97,6 +133,15 @@ def test_cluster_scaling(benchmark, spider_context, spider_cluster, cluster_back
             lambda: generator.run_batched(cluster.submit_many,
                                           batch_size=WAVE_SIZE),
             rounds=1, iterations=1)
+        for _ in range(MEASURE_ROUNDS - 1):
+            contender = generator.run_batched(single.submit_many,
+                                              batch_size=WAVE_SIZE)
+            if contender.throughput_rps > single_report.throughput_rps:
+                single_report = contender
+            contender = generator.run_batched(cluster.submit_many,
+                                              batch_size=WAVE_SIZE)
+            if contender.throughput_rps > cluster_report.throughput_rps:
+                cluster_report = contender
         cluster_stats = cluster.stats()
     fixture_stats = spider_cluster.stats()
 
@@ -107,12 +152,16 @@ def test_cluster_scaling(benchmark, spider_context, spider_cluster, cluster_back
     table.add_row("single_shard", round(single_report.throughput_rps, 1),
                   single_report.latency["p95_ms"], "inproc")
     table.add_row("cluster_4_shards", round(cluster_report.throughput_rps, 1),
-                  cluster_report.latency["p95_ms"], cluster_backend)
+                  cluster_report.latency["p95_ms"],
+                  cluster_backend + ("+wave" if wave_decode else ""))
     print()
     print(table.render())
 
     summary = {
         "backend": cluster_backend,
+        "wave_decode": wave_decode,
+        "wave_top1_agreement": (round(wave_agreement_rate, 4)
+                                if wave_agreement_rate is not None else None),
         "workload_requests": cluster_report.num_requests,
         "distinct_questions": len(distinct),
         "num_shards": cluster_stats["num_shards"],
@@ -139,6 +188,13 @@ def test_cluster_scaling(benchmark, spider_context, spider_cluster, cluster_back
     if cluster_backend == "subprocess":
         # Backend fidelity bar: the wire protocol must not change answers.
         assert backend_agreement_rate >= 0.95, summary
+    elif wave_decode:
+        # Wave decode restores the single-core speedup the vectorized monolith
+        # erased: one stacked kernel stream for the fleet, shard-sliced
+        # output heads.  Gate it, at near-perfect fidelity.
+        assert wave_agreement_rate >= 0.99, summary
+        assert cluster_report.throughput_rps >= 1.5 * single_report.throughput_rps, \
+            summary
     else:
         # Parity floor: scatter-gather overhead must not collapse against the
         # vectorized single-shard baseline.  (Gated on the inproc backend

@@ -23,6 +23,11 @@ def pytest_addoption(parser):
              "repro.cluster.procworker process per shard over the wire "
              "protocol)")
     parser.addoption(
+        "--wave-decode", action="store_true", default=False,
+        help="run bench_cluster_scaling's throughput cluster with dense wave "
+             "decode and shard-sliced vocabularies (inproc backend only); "
+             "gates the 1.5x speedup over the vectorized monolith")
+    parser.addoption(
         "--decode-backends", action="store", default="loop,vectorized,fast",
         help="comma-separated decode backends bench_decode_throughput sweeps "
              "('loop' must be included: it is the reference the others are "
@@ -32,6 +37,11 @@ def pytest_addoption(parser):
 @pytest.fixture(scope="session")
 def cluster_backend(request) -> str:
     return request.config.getoption("--backend")
+
+
+@pytest.fixture(scope="session")
+def wave_decode(request) -> bool:
+    return request.config.getoption("--wave-decode")
 
 
 @pytest.fixture(scope="session")

@@ -17,6 +17,9 @@ across the shards and merges the candidates into one deterministic top-k:
   failover with quarantine;
 * :mod:`repro.cluster.rebalance` -- live add/remove/move of databases with
   single-shard cache invalidation;
+* :mod:`repro.cluster.wave` -- dense wave decode: the whole inproc fleet's
+  beams stacked into one slot-dense kernel stream per step, with per-shard
+  vocabulary slices and constraint masks intact;
 * :mod:`repro.cluster.service` -- :class:`ClusterRoutingService`, the façade
   mirroring the PR-1 ``RoutingService`` API plus cluster-wide metrics;
 * :mod:`repro.cluster.checkpoint` -- whole-cluster save/load (shard manifest
@@ -51,7 +54,7 @@ from repro.cluster.partition import (
 from repro.cluster.rebalance import ClusterRebalancer, RebalanceError
 from repro.cluster.replica import ReplicaSet
 from repro.cluster.service import WORKER_BACKENDS, ClusterConfig, ClusterRoutingService
-from repro.cluster.shard import ShardWorker, project_router
+from repro.cluster.shard import ShardWorker, project_router, slice_target_vocabulary
 from repro.cluster.transport import (
     MAX_FRAME_BYTES,
     MIN_PROTOCOL_VERSION,
@@ -69,6 +72,7 @@ from repro.cluster.transport import (
     read_frame,
     write_frame,
 )
+from repro.cluster.wave import ClusterWaveEngine
 
 # Lazy (PEP 562): the worker child process runs ``python -m
 # repro.cluster.procworker``, and an eager import here would mean runpy
@@ -105,6 +109,8 @@ __all__ = [
     "ClusterRoutingService",
     "ShardWorker",
     "project_router",
+    "slice_target_vocabulary",
+    "ClusterWaveEngine",
     "ProcShardWorker",
     "WorkerCrashedError",
     "WorkerError",

@@ -195,7 +195,11 @@ def load_cluster(path: str | Path,
                          shard_num_beams=saved_config.shard_num_beams,
                          shard_beam_groups=saved_config.shard_beam_groups,
                          escalation_threshold=saved_config.escalation_threshold,
-                         escalation_num_beams=saved_config.escalation_num_beams)
+                         escalation_num_beams=saved_config.escalation_num_beams,
+                         # Slicing changes what each shard checkpoint contains
+                         # (sliced vocab + slice.npz), so it is pinned like the
+                         # beam budgets: the checkpoint decides.
+                         sliced_vocabulary=saved_config.sliced_vocabulary)
     if config.num_shards != assignment.num_shards:
         config = replace(config, num_shards=assignment.num_shards)
     master = load_router(path / MASTER_DIR)
@@ -231,6 +235,7 @@ def load_cluster(path: str | Path,
                 router.restore(shard_router.model, shard_router.source_vocabulary,
                                shard_router.target_vocabulary,
                                shard_router.training_losses)
+                router.vocabulary_slice = shard_router.vocabulary_slice
             workers.append(ShardWorker(shard_id, tuple(entry["databases"]), router,
                                        serving_config=config.serving_config(),
                                        checkpoint_dir=path / entry["dir"],

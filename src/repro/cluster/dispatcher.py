@@ -87,7 +87,8 @@ class ClusterDispatcher:
                  allow_partial: bool = False,
                  max_workers: int | None = None,
                  careful_targets: Sequence[ShardTarget] | None = None,
-                 escalation_threshold: float | None = None) -> None:
+                 escalation_threshold: float | None = None,
+                 wave_engine=None) -> None:
         if not targets:
             raise ValueError("the dispatcher needs at least one shard target")
         if careful_targets is not None and len(careful_targets) != len(targets):
@@ -97,6 +98,10 @@ class ClusterDispatcher:
         self.targets = list(targets)
         self.careful_targets = list(careful_targets) if careful_targets else None
         self.escalation_threshold = escalation_threshold
+        #: A :class:`repro.cluster.wave.ClusterWaveEngine` (or None): when
+        #: set, both scatter tiers decode through one stacked kernel stream
+        #: instead of one thread-pool call per shard.
+        self.wave_engine = wave_engine
         self.default_max_candidates = default_max_candidates
         self.shard_timeout_seconds = shard_timeout_seconds
         self.allow_partial = allow_partial
@@ -158,8 +163,12 @@ class ClusterDispatcher:
         if not questions:
             return []
         questions = list(questions)
-        merged = self._scatter_merge(self.targets, questions, max_candidates,
-                                     trace=trace)
+        if self.wave_engine is not None:
+            merged = self._wave_merge(questions, max_candidates, careful=False,
+                                      trace=trace)
+        else:
+            merged = self._scatter_merge(self.targets, questions, max_candidates,
+                                         trace=trace)
         if self.careful_targets is not None and self.escalation_threshold is not None:
             needy = [index for index, routes in enumerate(merged)
                      if not routes or routes[0].score < self.escalation_threshold]
@@ -173,9 +182,15 @@ class ClusterDispatcher:
                                                        questions=len(needy))
                     escalation_trace = trace.scoped(escalation_span)
                 try:
-                    careful = self._scatter_merge(
-                        self.careful_targets, [questions[index] for index in needy],
-                        max_candidates, trace=escalation_trace)
+                    needy_questions = [questions[index] for index in needy]
+                    if self.wave_engine is not None:
+                        careful = self._wave_merge(needy_questions, max_candidates,
+                                                   careful=True,
+                                                   trace=escalation_trace)
+                    else:
+                        careful = self._scatter_merge(
+                            self.careful_targets, needy_questions,
+                            max_candidates, trace=escalation_trace)
                 except BaseException as exc:
                     if escalation_span is not None:
                         escalation_span.end(status="error",
@@ -186,6 +201,30 @@ class ClusterDispatcher:
                 for index, routes in zip(needy, careful):
                     merged[index] = routes
         return merged
+
+    def _wave_merge(self, questions: list[str], max_candidates: int | None,
+                    careful: bool, trace=None) -> list[list[SchemaRoute]]:
+        """One stacked decode for the whole fleet, then the usual merge.
+
+        No thread pool is involved: the wave engine's single kernel stream
+        IS the scatter.  An engine failure is a whole-wave failure (there is
+        no per-shard partial gather on this path)."""
+        try:
+            per_shard = self.wave_engine.route_wave(
+                questions, max_candidates=max_candidates, careful=careful,
+                trace=trace)
+        except Exception as error:
+            with self._stats_lock:
+                self.shard_failures += 1
+            raise ClusterError("wave decode failed") from error
+        limit = max_candidates if max_candidates is not None else self.default_max_candidates
+        with maybe_span(trace, "merge", shards=len(per_shard),
+                        questions=len(questions)):
+            return [
+                merge_route_lists((shard_answers[index] for shard_answers in per_shard),
+                                  max_candidates=limit)
+                for index in range(len(questions))
+            ]
 
     def _scatter_merge(self, targets: Sequence[ShardTarget], questions: list[str],
                        max_candidates: int | None,
@@ -200,9 +239,17 @@ class ClusterDispatcher:
                                         questions=len(questions))
                 kwargs = {"trace": trace.scoped(span)}
             spans.append(span)
-            futures.append(self._pool.submit(
-                call_with_timeout, target, (questions, max_candidates),
-                self.shard_timeout_seconds, f"shard-{index}", kwargs))
+            if self.shard_timeout_seconds is None:
+                # No timeout means no watchdog: submit the target itself, so
+                # the pool worker calls the shard directly instead of going
+                # through the call_with_timeout wrapper (whose timeout path
+                # would add a second thread hop per shard per wave).
+                futures.append(self._pool.submit(
+                    target, questions, max_candidates, **(kwargs or {})))
+            else:
+                futures.append(self._pool.submit(
+                    call_with_timeout, target, (questions, max_candidates),
+                    self.shard_timeout_seconds, f"shard-{index}", kwargs))
         gathered: list[list[list[SchemaRoute]]] = []
         first_error: BaseException | None = None
         for span, future in zip(spans, futures):

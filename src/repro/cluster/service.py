@@ -28,6 +28,7 @@ from repro.cluster.dispatcher import ClusterDispatcher
 from repro.cluster.partition import ShardAssignment, partition_catalog
 from repro.cluster.replica import ReplicaSet
 from repro.cluster.shard import ShardWorker
+from repro.cluster.wave import ClusterWaveEngine
 from repro.obs import Tracer
 from repro.obs.health import (
     HealthPolicy,
@@ -80,6 +81,19 @@ class ClusterConfig:
     #: Beam budget of the escalation tier; None derives
     #: ``max(2, num_beams // num_shards)`` from the master router.
     escalation_num_beams: int | None = None
+    #: Decode whole scatter waves through one stacked kernel stream
+    #: (:class:`repro.cluster.wave.ClusterWaveEngine`) instead of one
+    #: thread-pool call per shard.  Engages only for unreplicated inproc
+    #: fleets whose shard models share the master trunk by reference;
+    #: anything else (subprocess workers, replication, checkpoint-booted
+    #: weight copies) falls back to the pool dispatcher transparently.
+    wave_decode: bool = False
+    #: Slice each shard's target vocabulary / output head to its own
+    #: sub-catalog tokens (see :func:`repro.cluster.shard.project_router`):
+    #: decode cost scales with the slice, and final scores are calibrated by
+    #: exact full-vocabulary rescoring so the cross-shard merge still
+    #: compares like with like.
+    sliced_vocabulary: bool = False
     #: Per-replica attempt timeout (None = wait forever).
     shard_timeout_seconds: float | None = None
     #: Merge whatever shards answered instead of failing the whole request.
@@ -185,6 +199,10 @@ class ClusterRoutingService:
                                  trace=trace))
                 for replica_set in self._shards
             ]
+        self.wave_engine: ClusterWaveEngine | None = None
+        self._wave_disabled_reason: str | None = None
+        if self.config.wave_decode:
+            self.wave_engine, self._wave_disabled_reason = self._build_wave_engine()
         self.dispatcher = ClusterDispatcher(
             [replica_set.route_batch for replica_set in self._shards],
             default_max_candidates=default_candidates,
@@ -194,6 +212,7 @@ class ClusterRoutingService:
             max_workers=self.config.max_workers,
             careful_targets=careful_targets,
             escalation_threshold=self.config.escalation_threshold,
+            wave_engine=self.wave_engine,
         )
         if self.config.shard_timeout_seconds is not None and self._max_replicas > 1:
             for replica_set in self._shards:
@@ -210,6 +229,22 @@ class ClusterRoutingService:
         #: subprocess workers (removed on close); None when the caller owns it.
         self._owned_checkpoint_dir: Path | None = None
         self._closed = False
+
+    def _build_wave_engine(self) -> "tuple[ClusterWaveEngine | None, str | None]":
+        """(engine, None) when the fleet qualifies, else (None, reason).
+
+        Wave decode needs a single worker per shard that lives in this
+        process and shares the master trunk; everything else keeps the
+        thread-pool scatter path (which is why this never raises)."""
+        if self._max_replicas > 1:
+            return None, "replication enabled (failover needs the pool path)"
+        workers = [replica_set.workers[0] for replica_set in self._shards]
+        if not all(isinstance(worker, ShardWorker) for worker in workers):
+            return None, "shard workers are not inproc"
+        try:
+            return ClusterWaveEngine(workers), None
+        except ValueError as error:
+            return None, str(error)
 
     # -- construction --------------------------------------------------------
     @classmethod
@@ -271,7 +306,8 @@ class ClusterRoutingService:
                 ShardWorker.from_projection(shard_id, databases, master,
                                             serving_config=config.serving_config(),
                                             num_beams=beams, beam_groups=groups,
-                                            escalation_num_beams=escalation_beams)
+                                            escalation_num_beams=escalation_beams,
+                                            sliced_vocabulary=config.sliced_vocabulary)
                 for _ in range(config.replicas)
             ]
             shards.append(ReplicaSet(
@@ -479,6 +515,15 @@ class ClusterRoutingService:
             "partial_gathers": self.dispatcher.partial_gathers,
             "escalations": self.dispatcher.escalations,
         }
+        if self.wave_engine is not None:
+            wave = self.wave_engine.stats()
+            wave["enabled"] = True
+            snapshot["wave"] = wave
+        elif self.config.wave_decode:
+            # Wave decode was requested but the fleet did not qualify --
+            # surface why, so "it silently ran the pool path" is diagnosable.
+            snapshot["wave"] = {"enabled": False,
+                                "reason": self._wave_disabled_reason}
         snapshot["shards"] = shard_stats
         return snapshot
 

@@ -28,7 +28,13 @@ from repro.nn.decoding import (
     diverse_beam_search_loop,
     greedy_decode,
 )
-from repro.nn.seq2seq import Seq2SeqConfig, Seq2SeqModel
+from repro.nn.seq2seq import (
+    EncodedSource,
+    Seq2SeqConfig,
+    Seq2SeqModel,
+    VocabularySlice,
+    rescore_token_sequences,
+)
 from repro.nn.tokenizer import Vocabulary, WordTokenizer
 from repro.obs.trace import distinct_traces, stage_spans
 from repro.nn.trainer import Seq2SeqTrainer, TrainerConfig
@@ -178,6 +184,12 @@ class SchemaRouter:
         self._parse_cache: dict[tuple[int, ...], tuple[str, tuple[str, ...]] | None] = {}
         self.max_cached_parses = 4096
         self.training_losses: list[float] = []
+        #: Set when this router decodes over a sliced target vocabulary (a
+        #: cluster shard projected with ``sliced_vocabulary=True``): maps the
+        #: slice back to the master output head so decoded scores can be
+        #: calibrated to exact master-vocabulary log-probabilities.  ``None``
+        #: for ordinary (global-vocabulary) routers.
+        self.vocabulary_slice: VocabularySlice | None = None
 
     # -- vocabulary --------------------------------------------------------------
     def _build_vocabularies(self, examples: list[SyntheticExample]) -> None:
@@ -214,6 +226,15 @@ class SchemaRouter:
         if self._model is None:
             raise RuntimeError("the router has not been trained yet")
         return self._model
+
+    @property
+    def constraint(self) -> GraphConstrainedDecoding | None:
+        """The active decoding constraint (None when decoding unconstrained).
+
+        Public so external decode drivers (the cluster wave engine) can run
+        this router's search under exactly the constraint ``route_batch``
+        would use."""
+        return self._constraint if self.config.constrained_decoding else None
 
     def num_parameters(self) -> int:
         return self._model.num_parameters() if self._model is not None else 0
@@ -378,13 +399,15 @@ class SchemaRouter:
                         self._constraint.mask_cache_misses - masks_before[1]
                 for span in decode_spans:
                     span.annotate(**counters)
+        for index, hypotheses in enumerate(hypotheses_batch):
+            if not hypotheses:
+                hypotheses_batch[index] = self.decode_fallback(encoded_batch[index])
+        if self.vocabulary_slice is not None:
+            with stage_spans(contexts, "calibrate", questions=len(questions)):
+                self.rescore_hypotheses(encoded_batch, hypotheses_batch)
         with stage_spans(contexts, "parse"):
             results: list[list[SchemaRoute]] = []
-            for encoded, hypotheses in zip(encoded_batch, hypotheses_batch):
-                if not hypotheses:
-                    hypotheses = [greedy_decode(self._model, (), bos_id, eos_id,
-                                                max_length=self.config.max_decode_length,
-                                                constraint=constraint, encoded=encoded)]
+            for hypotheses in hypotheses_batch:
                 results.append(self._combine_hypotheses(hypotheses, target_tokenizer,
                                                         max_candidates))
         return results
@@ -423,6 +446,61 @@ class SchemaRouter:
         routes = [combined[database] for database in order]
         routes.sort(key=lambda route: route.score, reverse=True)
         return routes[:max_candidates]
+
+    def decode_fallback(self, encoded: EncodedSource) -> list:
+        """The greedy fallback used when beam search returns no hypotheses.
+
+        Public so external decode drivers (the cluster wave engine) fall back
+        exactly as :meth:`route_batch` does."""
+        return [greedy_decode(self.model, (),
+                              self.target_vocabulary.bos_id,
+                              self.target_vocabulary.eos_id,
+                              max_length=self.config.max_decode_length,
+                              constraint=self.constraint, encoded=encoded)]
+
+    def rescore_hypotheses(self, encoded_batch: "Sequence[EncodedSource]",
+                           hypotheses_batch: "Sequence[list]") -> None:
+        """Calibrate sliced-vocabulary scores to master-vocabulary scores.
+
+        In-place, batched over every hypothesis of every question: each final
+        sequence is replayed teacher-forced through the trunk against the
+        full master head (see
+        :func:`repro.nn.seq2seq.rescore_token_sequences`), and its score
+        replaced by the exact global log-probability -- afterwards scores
+        from differently-sliced shards are directly comparable, exactly as
+        if every shard had decoded over the master vocabulary.  No-op for
+        unsliced routers.
+        """
+        if self.vocabulary_slice is None:
+            return
+        eos_id = self.target_vocabulary.eos_id
+        encoded_rows: list[EncodedSource] = []
+        sequences: list[list[int]] = []
+        rows: list[tuple[int, int]] = []
+        for question, hypotheses in enumerate(hypotheses_batch):
+            for position, hypothesis in enumerate(hypotheses):
+                encoded_rows.append(encoded_batch[question])
+                sequences.append(hypothesis.tokens + [eos_id]
+                                 if hypothesis.finished else list(hypothesis.tokens))
+                rows.append((question, position))
+        if not rows:
+            return
+        scores = rescore_token_sequences(self.model, encoded_rows, sequences,
+                                         self.vocabulary_slice,
+                                         bos_id=self.target_vocabulary.bos_id)
+        for (question, position), score in zip(rows, scores):
+            hypotheses_batch[question][position].score = float(score)
+
+    def combine_hypotheses(self, hypotheses: list,
+                           max_candidates: int | None = None) -> list[SchemaRoute]:
+        """Parse decoded hypotheses into ranked routes (the public parse API).
+
+        The same parse-and-combine step :meth:`route_batch` ends with,
+        reusing this router's bounded parse cache; external decode drivers
+        (the cluster wave engine) hand decoded hypotheses straight here."""
+        return self._combine_hypotheses(
+            hypotheses, WordTokenizer(self.target_vocabulary),
+            max_candidates or self.config.max_candidate_schemas)
 
     def predict(self, question: str, max_candidates: int | None = None) -> RoutingPrediction:
         """Route and convert to the shared :class:`RoutingPrediction` format.

@@ -134,6 +134,21 @@ def _constraint_mask(constraint: Constraint | None, prefix: Sequence[int],
     return mask
 
 
+def _assign_state_mask(target: np.ndarray, mask: np.ndarray) -> None:
+    """Write a constraint mask into a resident mask row, padding-aware.
+
+    Wave decodes mix shards of different vocabulary widths into one grid
+    whose mask rows span the widest slice; a narrower shard's mask fills its
+    own columns and closes the pad columns (the kernel emits ``-inf`` there
+    anyway -- this keeps the mask grid self-consistent)."""
+    width = mask.shape[-1]
+    if width == target.shape[-1]:
+        target[...] = mask
+    else:
+        target[..., :width] = mask
+        target[..., width:] = False
+
+
 def _masked_log_probabilities(log_probabilities: np.ndarray, prefix: Sequence[int],
                               constraint: Constraint | None, eos_id: int) -> np.ndarray:
     """Apply the constraint by setting disallowed token log-probs to -inf."""
@@ -341,10 +356,12 @@ def diverse_beam_search_batch(model: Seq2SeqModel, encoded_batch: "list[EncodedS
                               bos_id: int, eos_id: int,
                               num_beams: int = 10, num_groups: int = 10,
                               diversity_penalty: float = 2.0, max_length: int = 48,
-                              constraint: Constraint | None = None,
+                              constraint: "Constraint | Sequence[Constraint | None] | None" = None,
                               length_penalty: float = 0.0,
                               kernel: str = "exact",
-                              stats: dict | None = None) -> list[list[BeamHypothesis]]:
+                              stats: dict | None = None,
+                              question_tags: Sequence[int] | None = None
+                              ) -> list[list[BeamHypothesis]]:
     """Diverse beam search over a whole micro-batch of questions at once.
 
     Per step, the active beams of *all* groups of *all* questions advance
@@ -382,6 +399,13 @@ def diverse_beam_search_batch(model: Seq2SeqModel, encoded_batch: "list[EncodedS
     ``stats``, when given, accumulates ``steps`` (stacked kernel calls) and
     ``beam_rows`` (active rows advanced across all steps); the fast tier
     additionally counts ``questions_compacted``.
+
+    The fast tier additionally accepts the cluster wave form: ``constraint``
+    may be a *sequence* of per-question constraints (each ``None`` or
+    incremental-protocol), and ``question_tags`` labels each question with
+    an integer shard tag that is forwarded to the kernel (see
+    :class:`~repro.nn.seq2seq.WaveDecodeKernel`) and broken out in
+    ``stats["per_tag"]``.  Neither is supported by the exact kernel.
     """
     beams_per_group = _validate_beam_budget(num_beams, num_groups)
     if kernel == "fast":
@@ -389,9 +413,14 @@ def diverse_beam_search_batch(model: Seq2SeqModel, encoded_batch: "list[EncodedS
             model, encoded_batch, bos_id, eos_id,
             num_beams=num_beams, num_groups=num_groups,
             diversity_penalty=diversity_penalty, max_length=max_length,
-            constraint=constraint, length_penalty=length_penalty, stats=stats)
+            constraint=constraint, length_penalty=length_penalty, stats=stats,
+            question_tags=question_tags)
     if kernel != "exact":
         raise ValueError(f"kernel must be 'exact' or 'fast', got {kernel!r}")
+    if question_tags is not None:
+        raise ValueError("question_tags requires kernel='fast'")
+    if isinstance(constraint, (list, tuple)):
+        raise ValueError("per-question constraints require kernel='fast'")
     num_questions = len(encoded_batch)
     if num_questions == 0:
         return []
@@ -659,9 +688,10 @@ def _diverse_beam_search_batch_dense(model: Seq2SeqModel,
                                      bos_id: int, eos_id: int,
                                      num_beams: int, num_groups: int,
                                      diversity_penalty: float, max_length: int,
-                                     constraint: Constraint | None,
+                                     constraint: "Constraint | Sequence[Constraint | None] | None",
                                      length_penalty: float,
-                                     stats: dict | None = None
+                                     stats: dict | None = None,
+                                     question_tags: Sequence[int] | None = None
                                      ) -> list[list[BeamHypothesis]]:
     """The ``fast`` decode tier: slot-dense diverse beam search.
 
@@ -689,6 +719,15 @@ def _diverse_beam_search_batch_dense(model: Seq2SeqModel,
     ``RouterConfig.decode_backend`` and ``benchmarks/bench_decode_throughput``.
     Incremental constraint states are threaded through beams exactly as in
     the exact engine; non-incremental constraints fall back to prefix masks.
+
+    Two wave-decode extensions (the inproc cluster batching every shard's
+    beams into one grid): ``constraint`` may be a sequence with exactly one
+    entry per question -- each ``None`` or incremental-protocol (the prefix-
+    walk fallback stays scalar-only) -- and ``question_tags`` labels each
+    question with an integer shard tag.  Tags ride through compaction, are
+    handed to the kernel's ``tags`` parameter each step (the wave kernel
+    gathers per-shard input-table rows and runs per-shard output heads), and
+    split the decode counters into ``stats["per_tag"]``.
     """
     beams_per_group = _validate_beam_budget(num_beams, num_groups)
     num_questions = len(encoded_batch)
@@ -741,8 +780,52 @@ def _diverse_beam_search_batch_dense(model: Seq2SeqModel,
     input_table = model.fast_input_table()
     memory_t = np.ascontiguousarray(memory.transpose(0, 2, 1))    # (Q, h, T)
 
-    incremental = _incremental_constraint(constraint)
-    if constraint is not None:
+    # Constraint plumbing.  The scalar form keeps both paths (incremental
+    # protocol or prefix-walk fallback); the per-question sequence form (the
+    # wave path, each shard's own graph constraint) requires the incremental
+    # protocol.  Everything below works off per-question ``advance_fns`` /
+    # ``mask_fns`` lists (``None`` entries = unconstrained question), so the
+    # selection loop is shard-agnostic.
+    prefix_constraint: Constraint | None = None
+    if isinstance(constraint, (list, tuple)):
+        if len(constraint) != num_questions:
+            raise ValueError(
+                f"per-question constraints need exactly one entry per question "
+                f"({len(constraint)} != {num_questions})")
+        advance_fns: list = []
+        mask_fns: list = []
+        start_states: list = []
+        for entry in constraint:
+            if entry is None:
+                advance_fns.append(None)
+                mask_fns.append(None)
+                start_states.append(None)
+                continue
+            protocol = _incremental_constraint(entry)
+            if protocol is None:
+                raise ValueError(
+                    "per-question constraints must expose the incremental-state "
+                    "protocol (initial_state/advance/allowed_mask_for_state)")
+            entry_initial, entry_advance, entry_mask = protocol
+            advance_fns.append(entry_advance)
+            mask_fns.append(entry_mask)
+            start_states.append(entry_initial())
+    else:
+        protocol = _incremental_constraint(constraint)
+        if protocol is not None:
+            shared_initial, shared_advance, shared_mask = protocol
+            shared_start = shared_initial()
+            advance_fns = [shared_advance] * num_questions
+            mask_fns = [shared_mask] * num_questions
+            start_states = [shared_start] * num_questions
+        else:
+            prefix_constraint = constraint
+            advance_fns = [None] * num_questions
+            mask_fns = [None] * num_questions
+            start_states = [None] * num_questions
+    incremental = any(fn is not None for fn in mask_fns)
+    masked = incremental or prefix_constraint is not None
+    if masked:
         # Resident dense mask grid; stale rows belong to dead slots and are
         # never read.  With an incremental constraint the grid is maintained
         # at selection time (a beam's mask only changes when its state
@@ -750,13 +833,27 @@ def _diverse_beam_search_batch_dense(model: Seq2SeqModel,
         # prefix-walk constraints refill active rows before each step.
         row_masks = np.ones(shape + (vocab_size,), dtype=bool)
     if incremental:
-        initial_state, advance_state, mask_for_state = incremental
-        start_state = initial_state()
         constraint_states: list[list[list]] = [
-            [[start_state] * beams_per_group for _ in range(num_groups)]
-            for _ in range(num_questions)
+            [[start_states[question]] * beams_per_group for _ in range(num_groups)]
+            for question in range(num_questions)
         ]
-        row_masks[:] = mask_for_state(start_state)
+        for question in range(num_questions):
+            if mask_fns[question] is not None:
+                _assign_state_mask(row_masks[question],
+                                   mask_fns[question](start_states[question]))
+
+    # Shard tags (the wave path): resident per-question, compacted alongside
+    # the grid, handed to the kernel each step, and split out per tag in the
+    # final stats.
+    tag_array: np.ndarray | None = None
+    if question_tags is not None:
+        tag_array = np.asarray(list(question_tags), dtype=np.int64)
+        if tag_array.shape != (num_questions,):
+            raise ValueError("question_tags needs exactly one tag per question")
+        num_tags = int(tag_array.max()) + 1 if num_questions else 0
+        tag_steps = np.zeros(num_tags, dtype=np.int64)
+        tag_beam_rows = np.zeros(num_tags, dtype=np.int64)
+        tag_compacted = np.zeros(num_tags, dtype=np.int64)
 
     # Clamped to the vocabulary: argsort slices truncate at V anyway (the
     # loop backend's behavior), and the candidate loops must not read
@@ -800,6 +897,11 @@ def _diverse_beam_search_batch_dense(model: Seq2SeqModel,
             if incremental:
                 constraint_states = [constraint_states[question]
                                      for question in kept_list]
+            advance_fns = [advance_fns[question] for question in kept_list]
+            mask_fns = [mask_fns[question] for question in kept_list]
+            if tag_array is not None:
+                tag_compacted += np.bincount(tag_array[~live], minlength=num_tags)
+                tag_array = tag_array[kept]
             memory = memory[kept]
             memory_mask = memory_mask[kept]
             memory_t = np.ascontiguousarray(memory_t[kept])
@@ -811,7 +913,7 @@ def _diverse_beam_search_batch_dense(model: Seq2SeqModel,
             alive = alive[kept]
             active = active[kept]
             counts = counts[kept]
-            if constraint is not None:
+            if masked:
                 row_masks = row_masks[kept]
             num_questions = len(kept_list)
             shape = (num_questions, num_groups, beams_per_group)
@@ -832,7 +934,7 @@ def _diverse_beam_search_batch_dense(model: Seq2SeqModel,
         finished_list = finished.tolist()
         scores_list = scores.tolist()
 
-        if constraint is not None and not incremental:
+        if prefix_constraint is not None:
             lengths_list = lengths.tolist()
             mask_memo: dict[tuple[int, ...], np.ndarray | None] = {}
             for question in range(num_questions):
@@ -846,7 +948,7 @@ def _diverse_beam_search_batch_dense(model: Seq2SeqModel,
                             :lengths_list[question][group][beam]].tolist())
                         mask = mask_memo.get(key)
                         if key not in mask_memo:
-                            mask = _constraint_mask(constraint, key,
+                            mask = _constraint_mask(prefix_constraint, key,
                                                     vocab_size, eos_id)
                             mask_memo[key] = mask
                         if mask is not None:
@@ -868,11 +970,19 @@ def _diverse_beam_search_batch_dense(model: Seq2SeqModel,
             bos_id)
         steps += 1
         beam_rows += num_questions * slots
-        log_probabilities, step_states = model.decode_step_numpy_batch_fast(
-            memory, memory_mask, flat_states, previous,
-            input_table=input_table, memory_t=memory_t)
+        if tag_array is None:
+            log_probabilities, step_states = model.decode_step_numpy_batch_fast(
+                memory, memory_mask, flat_states, previous,
+                input_table=input_table, memory_t=memory_t)
+        else:
+            resident = np.bincount(tag_array, minlength=num_tags)
+            tag_beam_rows += resident * slots
+            tag_steps += resident > 0
+            log_probabilities, step_states = model.decode_step_numpy_batch_fast(
+                memory, memory_mask, flat_states, previous,
+                input_table=input_table, memory_t=memory_t, tags=tag_array)
         log_probabilities = log_probabilities.reshape(shape + (vocab_size,))
-        if constraint is not None:
+        if masked:
             log_probabilities = np.where(row_masks, log_probabilities, -np.inf)
 
         # Group-sequential selection.  Each group contributes one (Q, B) row
@@ -945,8 +1055,10 @@ def _diverse_beam_search_batch_dense(model: Seq2SeqModel,
                 group_tokens[question] = tokens_row
                 group_scores[question] = scores_row
                 step_alive[group][question] = len(selected)
-                group_states = constraint_states[question][group] if incremental \
-                    else None
+                mask_for_state = mask_fns[question]
+                advance_state = advance_fns[question]
+                group_states = constraint_states[question][group] \
+                    if incremental and mask_for_state is not None else None
                 new_cstates = [None] * len(selected) if group_states is not None \
                     else None
                 for slot, (score, token, parent, _) in enumerate(selected):
@@ -965,8 +1077,8 @@ def _diverse_beam_search_batch_dense(model: Seq2SeqModel,
                         else:
                             new_state = advance_state(group_states[parent], token)
                             new_cstates[slot] = new_state
-                            row_masks[question, group, slot] = \
-                                mask_for_state(new_state)
+                            _assign_state_mask(row_masks[question, group, slot],
+                                               mask_for_state(new_state))
                     if token != eos_id:
                         counts[question, token] += 1.0
                         any_chosen = True
@@ -1013,6 +1125,14 @@ def _diverse_beam_search_batch_dense(model: Seq2SeqModel,
 
     _note_decode_stats(stats, steps=steps, beam_rows=beam_rows,
                        questions_compacted=questions_compacted)
+    if stats is not None and tag_array is not None:
+        per_tag = stats.setdefault("per_tag", {})
+        for tag in range(num_tags):
+            entry = per_tag.setdefault(int(tag), {})
+            entry["steps"] = entry.get("steps", 0) + int(tag_steps[tag])
+            entry["beam_rows"] = entry.get("beam_rows", 0) + int(tag_beam_rows[tag])
+            entry["questions_compacted"] = (entry.get("questions_compacted", 0)
+                                            + int(tag_compacted[tag]))
     # Bank whatever is still resident, then emit every question's beams in
     # the original batch order (compaction may have reordered the grid).
     for question, original in enumerate(question_ids):

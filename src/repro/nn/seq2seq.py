@@ -26,7 +26,8 @@ attention, same math, no row-stability guarantee.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Sequence
 
 import numpy as np
 
@@ -362,3 +363,272 @@ class Seq2SeqModel(Module):
         logits = logits - logits.max(axis=1, keepdims=True)
         log_probabilities = logits - np.log(np.exp(logits).sum(axis=1, keepdims=True))
         return (log_probabilities.reshape(questions, slots, -1), states3)
+
+
+@dataclass(frozen=True)
+class VocabularySlice:
+    """Mapping from a sliced target vocabulary back to the master output head.
+
+    A sliced shard model keeps only its sub-catalog's rows of the target
+    embedding and output projection, so its per-step log-softmax normalizes
+    over the *slice* -- scores inflate by exactly ``-log(slice probability
+    mass)`` per step relative to the master vocabulary, and the inflation is
+    largest precisely on shards the question does *not* belong to.  No
+    per-shard constant can undo that, so calibration is exact instead:
+    finished hypotheses are replayed teacher-forced through the shared trunk
+    with the full master head (:func:`rescore_token_sequences`), which
+    reproduces the global-vocabulary score.  This record carries what the
+    replay needs: the kept master row ids (ascending; the special tokens'
+    head is always kept, so special ids coincide between slice and master)
+    and the master head parameters.
+    """
+
+    kept_ids: np.ndarray       # (V_slice,) int64, ascending master row ids
+    output_weight: np.ndarray  # (h, V_master) master output projection weight
+    output_bias: np.ndarray    # (V_master,) master output projection bias
+
+
+def rescore_token_sequences(model: "Seq2SeqModel",
+                            encoded_list: list[EncodedSource],
+                            sequences: list[list[int]],
+                            vocabulary_slice: VocabularySlice,
+                            bos_id: int = 1) -> np.ndarray:
+    """Exact master-vocabulary log-probabilities of sliced decodes.
+
+    Replays each token sequence (sliced-vocabulary ids, *including* the
+    trailing EOS for finished hypotheses) teacher-forced through ``model``'s
+    trunk, scoring every step against the full master head carried by
+    ``vocabulary_slice``.  The decoder state recursion never touches the
+    output head and the sliced embedding rows are the master's kept rows, so
+    the replayed trunk states match a master-vocabulary decode of the same
+    path -- the returned score is the global score the master model would
+    have assigned, up to GEMM regrouping noise.
+
+    Runs fast-kernel style: all rows advance together, one flat output GEMM
+    per step over the rows still inside their sequence.  Returns ``(R,)``
+    summed log-probabilities (zeros for empty sequences).
+    """
+    if not sequences:
+        return np.zeros(0)
+    lengths = np.asarray([len(sequence) for sequence in sequences], dtype=np.int64)
+    max_length = int(lengths.max())
+    scores = np.zeros(len(sequences))
+    if max_length == 0:
+        return scores
+    hidden = model.config.hidden_dim
+    rows = len(sequences)
+    memory_length = max(encoded.memory.shape[0] for encoded in encoded_list)
+    memory = np.zeros((rows, memory_length, hidden))
+    memory_mask = np.zeros((rows, memory_length), dtype=bool)
+    states = np.empty((rows, hidden))
+    for row, encoded in enumerate(encoded_list):
+        true_length = encoded.memory.shape[0]
+        memory[row, :true_length] = encoded.memory
+        memory_mask[row, :true_length] = np.asarray(encoded.mask) != 0.0
+        states[row] = encoded.state
+    memory_t = np.ascontiguousarray(memory.transpose(0, 2, 1))
+    targets = np.zeros((rows, max_length), dtype=np.int64)
+    for row, sequence in enumerate(sequences):
+        targets[row, : len(sequence)] = sequence
+
+    input_table = model.fast_input_table()
+    recurrent_weight = model.recurrent_projection.weight.data
+    combine_weight = model.combine_projection.weight.data
+    combine_bias = model.combine_projection.bias.data
+    kept_ids = vocabulary_slice.kept_ids
+    head_weight = vocabulary_slice.output_weight
+    head_bias = vocabulary_slice.output_bias
+    all_visible = bool(memory_mask.all())
+
+    previous = np.full(rows, bos_id, dtype=np.int64)
+    for step in range(max_length):
+        active = np.nonzero(step < lengths)[0]
+        new_states = np.tanh(input_table[previous] + states @ recurrent_weight)
+        attention_scores = np.matmul(new_states[:, None, :], memory_t)[:, 0, :]
+        if not all_visible:
+            attention_scores = np.where(memory_mask, attention_scores, -np.inf)
+        if hidden > 512:
+            attention_scores = attention_scores - attention_scores.max(axis=1, keepdims=True)
+        attention = np.exp(attention_scores)
+        attention /= attention.sum(axis=1, keepdims=True)
+        context = np.matmul(attention[:, None, :], memory)[:, 0, :]
+        combined = np.tanh(
+            np.concatenate([new_states, context], axis=1) @ combine_weight + combine_bias)
+        logits = combined[active] @ head_weight + head_bias                     # (A, V_master)
+        logits = logits - logits.max(axis=1, keepdims=True)
+        normalizers = np.log(np.exp(logits).sum(axis=1))
+        master_targets = kept_ids[targets[active, step]]
+        scores[active] += logits[np.arange(len(active)), master_targets] - normalizers
+        states = new_states
+        previous = np.where(step < lengths, targets[:, step], 0)
+    return scores
+
+
+class WaveDecodeKernel:
+    """One fast-tier decode stream over several shard models of one trunk.
+
+    Duck-types the slice of :class:`Seq2SeqModel` the slot-dense decode
+    engine touches (``config``, :meth:`fast_input_table`,
+    :meth:`decode_step_numpy_batch_fast`), batching every shard's beams of a
+    scatter wave into single flat GEMMs.  All shard models must share the
+    trunk modules by reference (they do: :func:`repro.cluster.shard.project_router`
+    either reuses the master model outright or shares its trunk into a
+    sliced twin); only the target embedding / output head may differ per
+    shard.  Each question row carries a shard ``tag``; the previous-token
+    gather indexes a stacked per-shard input table, and the output head runs
+    either as one shared GEMM (unsliced shards -- every head is the master's)
+    or as per-shard grouped GEMMs whose log-softmax normalizes over each
+    shard's own slice, written into a ``-inf``-padded common-width grid so
+    the engine's top-k machinery is untouched.
+    """
+
+    _TRUNK_MODULES = ("source_embedding", "encoder_projection", "state_init",
+                      "input_projection", "recurrent_projection",
+                      "combine_projection")
+
+    def __init__(self, models: list[Seq2SeqModel] | tuple[Seq2SeqModel, ...],
+                 vocabulary_slices: Sequence[VocabularySlice | None] | None = None
+                 ) -> None:
+        if not models:
+            raise ValueError("a wave kernel needs at least one shard model")
+        self.models = list(models)
+        base = self.models[0]
+        for model in self.models[1:]:
+            for attribute in self._TRUNK_MODULES:
+                if getattr(model, attribute) is not getattr(base, attribute):
+                    raise ValueError(
+                        f"wave decode requires shard models sharing one trunk; "
+                        f"{attribute!r} differs")
+        self.vocab_width = max(model.config.target_vocab_size for model in self.models)
+        self.config = replace(base.config, target_vocab_size=self.vocab_width)
+        self.shared_head = all(
+            model.output_projection is base.output_projection for model in self.models)
+        if vocabulary_slices is None:
+            vocabulary_slices = [None] * len(self.models)
+        if len(vocabulary_slices) != len(self.models):
+            raise ValueError("one vocabulary slice (or None) per shard model")
+        self.vocabulary_slices = list(vocabulary_slices)
+        # Calibrated-head mode: every shard is a slice of one master head, so
+        # each step can run a single master-width GEMM, log-softmax over the
+        # *master* vocabulary, and gather each shard's kept columns -- the
+        # decode then emits exact master-vocabulary scores (no post-hoc
+        # rescoring), and search prunes exactly as a master-head decode
+        # restricted to the slice would.
+        self.calibrated_head = all(
+            vocabulary_slice is not None for vocabulary_slice in self.vocabulary_slices
+        ) and all(
+            vocabulary_slice.output_weight is self.vocabulary_slices[0].output_weight
+            and vocabulary_slice.output_bias is self.vocabulary_slices[0].output_bias
+            for vocabulary_slice in self.vocabulary_slices)
+        if not self.calibrated_head and any(
+                vocabulary_slice is not None
+                for vocabulary_slice in self.vocabulary_slices):
+            raise ValueError(
+                "wave decode requires either no vocabulary slices or one "
+                "shared master head across every shard's slice")
+
+    def fast_input_table(self) -> np.ndarray:
+        """Per-shard fused previous-token tables, stacked ``(K * Vmax, h)``.
+
+        Shard ``k``'s table occupies rows ``[k * Vmax, k * Vmax + V_k)``;
+        the gather offset is ``tag * Vmax + previous_id``.  Pad rows stay
+        zero and are never gathered (a shard's previous ids are < ``V_k``).
+        """
+        hidden = self.config.hidden_dim
+        table = np.zeros((len(self.models) * self.vocab_width, hidden))
+        for shard, model in enumerate(self.models):
+            shard_table = model.fast_input_table()
+            start = shard * self.vocab_width
+            table[start : start + shard_table.shape[0]] = shard_table
+        return table
+
+    def decode_step_numpy_batch_fast(self, memory: np.ndarray, memory_mask: np.ndarray,
+                                     states: np.ndarray, previous_ids: np.ndarray,
+                                     input_table: np.ndarray | None = None,
+                                     memory_t: np.ndarray | None = None,
+                                     tags: np.ndarray | None = None
+                                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Fast-tier step for a shard-tagged wave; same shapes as the model
+        kernel plus ``tags`` ``(Q,)`` (shard index per question row).
+
+        Trunk math is identical to
+        :meth:`Seq2SeqModel.decode_step_numpy_batch_fast` (the trunk is
+        shared); only the previous-token gather and the output head are
+        shard-aware.  Columns ``>= V_k`` of a shard's rows come back
+        ``-inf``, so padded vocabulary slots can never win a top-k.
+        """
+        if tags is None:
+            raise ValueError("the wave kernel needs per-question shard tags")
+        base = self.models[0]
+        questions, slots, hidden = states.shape
+        flat_states = states.reshape(questions * slots, hidden)
+        if input_table is None:
+            input_table = self.fast_input_table()
+        if memory_t is None:
+            memory_t = np.ascontiguousarray(memory.transpose(0, 2, 1))
+        tags = np.asarray(tags, dtype=np.int64)
+        gather_rows = (previous_ids + tags[:, None] * self.vocab_width).reshape(-1)
+        new_states = np.tanh(
+            input_table[gather_rows]
+            + flat_states @ base.recurrent_projection.weight.data)              # (Q*S, h)
+        states3 = new_states.reshape(questions, slots, hidden)
+
+        scores = np.matmul(states3, memory_t)                                   # (Q, S, T)
+        if not memory_mask.all():
+            scores = np.where(memory_mask[:, None, :], scores, -np.inf)
+        if hidden > 512:
+            scores = scores - scores.max(axis=2, keepdims=True)
+        attention = np.exp(scores)
+        attention /= attention.sum(axis=2, keepdims=True)
+        context = np.matmul(attention, memory)                                  # (Q, S, h)
+
+        combined = np.tanh(
+            np.concatenate([new_states, context.reshape(-1, hidden)], axis=1)
+            @ base.combine_projection.weight.data
+            + base.combine_projection.bias.data)                                # (Q*S, h)
+        if self.shared_head:
+            logits = combined @ base.output_projection.weight.data \
+                + base.output_projection.bias.data
+            logits = logits - logits.max(axis=1, keepdims=True)
+            log_probabilities = logits - np.log(np.exp(logits).sum(axis=1, keepdims=True))
+            return (log_probabilities.reshape(questions, slots, -1), states3)
+        flat_tags = np.repeat(tags, slots)
+        log_probabilities = np.full((questions * slots, self.vocab_width), -np.inf)
+        # The wave engine stacks rows shard-major and compaction preserves
+        # order, so each shard's rows are normally one contiguous block --
+        # sliced views instead of boolean gathers.  Unsorted tags still work
+        # through the nonzero fallback.
+        tags_sorted = bool(np.all(tags[:-1] <= tags[1:]))
+        master_log_probabilities = None
+        if self.calibrated_head:
+            # One master-width GEMM for every row; per-shard work is just a
+            # kept-column gather.  Normalizing over the master vocabulary is
+            # the calibration: emitted scores are exact global scores.
+            head = self.vocabulary_slices[0]
+            logits = combined @ head.output_weight + head.output_bias           # (Q*S, V_master)
+            logits = logits - logits.max(axis=1, keepdims=True)
+            master_log_probabilities = logits \
+                - np.log(np.exp(logits).sum(axis=1, keepdims=True))
+        for shard, model in enumerate(self.models):
+            if tags_sorted:
+                start, stop = np.searchsorted(flat_tags, (shard, shard + 1))
+                if start == stop:
+                    continue
+                shard_rows: slice | np.ndarray = slice(int(start), int(stop))
+            else:
+                indices = np.nonzero(flat_tags == shard)[0]
+                if not indices.size:
+                    continue
+                shard_rows = indices
+            if master_log_probabilities is not None:
+                kept_ids = self.vocabulary_slices[shard].kept_ids
+                log_probabilities[shard_rows, : len(kept_ids)] = \
+                    master_log_probabilities[shard_rows][:, kept_ids]
+                continue
+            block = combined[shard_rows] @ model.output_projection.weight.data \
+                + model.output_projection.bias.data                             # (Rk, V_k)
+            block = block - block.max(axis=1, keepdims=True)
+            block = block - np.log(np.exp(block).sum(axis=1, keepdims=True))
+            log_probabilities[shard_rows, : block.shape[1]] = block
+        return (log_probabilities.reshape(questions, slots, -1), states3)
+

@@ -20,9 +20,11 @@ import json
 from dataclasses import asdict
 from pathlib import Path
 
+import numpy as np
+
 from repro.core.graph import SchemaGraph
 from repro.core.router import RouterConfig, SchemaRouter
-from repro.nn.seq2seq import Seq2SeqConfig, Seq2SeqModel
+from repro.nn.seq2seq import Seq2SeqConfig, Seq2SeqModel, VocabularySlice
 from repro.nn.tokenizer import Vocabulary
 from repro.schema.catalog import Catalog
 from repro.schema.column import Column, ColumnType
@@ -35,6 +37,11 @@ CHECKPOINT_VERSION = 1
 
 MANIFEST_FILE = "manifest.json"
 WEIGHTS_FILE = "weights.npz"
+#: Present only for sliced-vocabulary shard routers: the kept master ids and
+#: the master output head, so a checkpoint-booted shard can still calibrate
+#: its scores to master-vocabulary log-probabilities.  Old checkpoints simply
+#: lack the manifest key (the format version is unchanged).
+SLICE_FILE = "slice.npz"
 
 
 class CheckpointError(RuntimeError):
@@ -146,6 +153,16 @@ def save_router(router: SchemaRouter, path: str | Path) -> Path:
             "num_parameters": router.num_parameters(),
         },
     }
+    if router.vocabulary_slice is not None:
+        slice_path = path / SLICE_FILE
+        np.savez(slice_path,
+                 kept_ids=router.vocabulary_slice.kept_ids,
+                 output_weight=router.vocabulary_slice.output_weight,
+                 output_bias=router.vocabulary_slice.output_bias)
+        manifest["vocabulary_slice"] = {
+            "file": SLICE_FILE,
+            "sha256": _sha256_of(slice_path),
+        }
     manifest_path = path / MANIFEST_FILE
     manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
     return path
@@ -202,4 +219,18 @@ def load_router(path: str | Path) -> SchemaRouter:
     router = SchemaRouter(graph=graph, config=config)
     router.restore(model, source_vocabulary, target_vocabulary,
                    training_losses=manifest.get("training_losses"))
+    slice_entry = manifest.get("vocabulary_slice")
+    if slice_entry is not None:
+        slice_path = path / slice_entry["file"]
+        if not slice_path.is_file():
+            raise CheckpointError(f"missing vocabulary-slice archive {slice_path!s}")
+        recorded = slice_entry.get("sha256")
+        if recorded and _sha256_of(slice_path) != recorded:
+            raise CheckpointError(
+                f"vocabulary-slice archive {slice_path!s} fails its checksum")
+        with np.load(slice_path) as archive:
+            router.vocabulary_slice = VocabularySlice(
+                kept_ids=archive["kept_ids"],
+                output_weight=archive["output_weight"],
+                output_bias=archive["output_bias"])
     return router
