@@ -105,8 +105,13 @@ class ClusterDispatcher:
         self.default_max_candidates = default_max_candidates
         self.shard_timeout_seconds = shard_timeout_seconds
         self.allow_partial = allow_partial
+        # With a careful tier the pool holds one scatter arm per shard *per
+        # tier*: multiplexed workers carry concurrent frames, so one wave's
+        # escalation can be in flight while another wave's fast tier scatters
+        # to the same workers instead of queueing behind a pool slot.
+        tiers = 2 if careful_targets else 1
         self._pool = ThreadPoolExecutor(
-            max_workers=max_workers or len(self.targets),
+            max_workers=max_workers or len(self.targets) * tiers,
             thread_name_prefix="repro-cluster-dispatch",
         )
         self._closed = False

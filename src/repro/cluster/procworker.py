@@ -17,13 +17,24 @@ decode.  This module moves the worker across a process boundary:
   :class:`~repro.cluster.dispatcher.ClusterDispatcher` work unchanged over the
   wire.  It owns the worker's lifecycle: spawn from a checkpoint directory,
   health-check pings, kill on request timeout, automatic respawn after a
-  crash, and a graceful ``close()`` that drains the in-flight request before
+  crash, and a graceful ``close()`` that drains in-flight requests before
   sending ``shutdown``.
 
-Request/response is strictly serial per worker (one frame in flight), which
-matches how the dispatcher drives shards -- one scatter wave at a time -- and
-keeps the protocol trivially ordered.  Parallelism comes from having many
-workers, each on its own core.
+Since protocol 3 the connection is **multiplexed**: frame ids are real
+correlation ids, many requests ride the pipe concurrently, and responses
+return in whatever order they finish.  The child splits into a reader loop
+feeding a small bounded decode executor behind a write-lock-guarded writer,
+so a careful-tier escalation no longer blocks fast-tier traffic on the same
+worker; control frames (``ping`` / ``stats_request`` / ``invalidate_cache``)
+are answered inline on the reader loop, making the ping a genuinely
+out-of-band liveness signal even while every decode slot is busy.  The
+dispatcher side runs one receiver thread per child that demultiplexes
+responses into per-request events.  A request that misses its deadline still
+kills the process (a wedged decode cannot be cancelled politely) -- and with
+it fails *every* in-flight request; auto-respawn then boots a clean child for
+the next request.  ``ProcShardWorker(pipeline=False)`` restores the strictly
+serial one-frame-at-a-time discipline for old-peer emulation and A/B
+benchmarks.
 """
 
 from __future__ import annotations
@@ -35,16 +46,21 @@ import sys
 import threading
 import time
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Callable
 
 from repro.cluster.dispatcher import ClusterError, ShardTimeoutError
 from repro.cluster.shard import ShardWorker
 from repro.cluster.transport import (
+    BINARY_KEY,
+    BINARY_PROTOCOL_VERSION,
     FrameReader,
     FrameTooLargeError,
     FrameWriter,
     MAX_FRAME_BYTES,
+    MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
     ProtocolError,
     TRACE_PROTOCOL_VERSION,
     TransportTimeoutError,
@@ -52,13 +68,27 @@ from repro.cluster.transport import (
     error_message,
     hello_message,
     read_frame,
+    route_lists_from_binary,
     route_lists_from_payload,
+    route_lists_to_binary,
     route_lists_to_payload,
     write_frame,
 )
 from repro.core.router import SchemaRoute
 from repro.obs import Tracer
 from repro.serving.service import ServingConfig
+
+#: Decode slots of one child's serve loop: how many route requests it works
+#: on concurrently.  Small and bounded -- the executor exists to overlap the
+#: careful tier with fast-tier frames (and numpy kernels release the GIL),
+#: not to oversubscribe a core with dozens of decodes.
+SERVE_CONCURRENCY = 4
+
+#: Env var (seconds, float) that makes the child sleep before serving any
+#: *careful* route request -- the injectable slow shard the overlap and
+#: chaos tests drive.  An env var rather than an argument so tests reach the
+#: children spawned deep inside checkpoint boot paths.
+SLOW_CAREFUL_ENV = "REPRO_PROCWORKER_TEST_SLOW_CAREFUL"
 
 
 class WorkerCrashedError(ClusterError):
@@ -71,12 +101,20 @@ class WorkerError(ClusterError):
 
 # -- child side ----------------------------------------------------------------
 def serve(worker: ShardWorker, reader, writer,
-          *, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+          *, max_frame_bytes: int = MAX_FRAME_BYTES,
+          max_concurrency: int = SERVE_CONCURRENCY,
+          slow_careful_seconds: float = 0.0) -> None:
     """Handshake, then answer frames until ``shutdown`` or EOF.
 
-    Request-scoped failures (a malformed batch, an unexpected exception in the
+    The loop reads frames on the calling thread and fans route requests out
+    to a bounded executor; every reply goes through one write lock, so
+    responses interleave on the pipe in completion order and the negotiated
+    correlation id is what pairs them with their requests.  Control frames
+    are answered inline -- a ping is never stuck behind a decode.  Request-
+    scoped failures (a malformed batch, an unexpected exception in the
     router) answer with an ``error`` frame and keep serving; stream-level
-    corruption is fatal -- once framing is lost there is nothing left to trust.
+    corruption is fatal -- once framing is lost there is nothing left to
+    trust.
     """
     write_frame(writer, hello_message(worker.shard_id, worker.databases, os.getpid()),
                 max_frame_bytes=max_frame_bytes)
@@ -86,72 +124,117 @@ def serve(worker: ShardWorker, reader, writer,
     if ack.get("type") != "hello_ack":
         raise ProtocolError(f"expected hello_ack, got {ack.get('type')!r}")
     check_protocol(ack)
+    peer_protocol = int(ack["protocol"])
+    # Route payloads go binary only to peers that negotiated protocol 3;
+    # older dispatchers keep receiving the hex-float JSON form.
+    send_binary = peer_protocol >= BINARY_PROTOCOL_VERSION
+    # Pre-multiplexing dispatchers canonicalized every frame (sorted JSON
+    # keys); keep replies to them byte-faithful to that wire.
+    canonical = peer_protocol < BINARY_PROTOCOL_VERSION
     # Child-side tracer: spans recorded here feed the worker service's own
     # stage metrics AND travel back in ``route_response.spans`` to be
     # stitched into the dispatcher's trace.  The journal stays tiny -- the
     # parent side retains the interesting exemplars.
     tracer = Tracer(metrics=worker.service.metrics, max_slow_traces=4)
-    while True:
-        message = read_frame(reader, max_frame_bytes=max_frame_bytes)
-        if message is None:
-            break  # dispatcher closed the pipe: treat as shutdown
+    write_lock = threading.Lock()
+
+    def send(reply: dict, binary: bytes | None = None) -> None:
+        with write_lock:
+            try:
+                write_frame(writer, reply, binary=binary, canonical=canonical,
+                            max_frame_bytes=max_frame_bytes)
+            except FrameTooLargeError as error:
+                # An oversized *reply* is request-scoped too: answer with an
+                # error frame instead of dying -- otherwise the dispatcher
+                # would retry the same lethal batch against every freshly-
+                # respawned replica.
+                write_frame(writer, error_message(reply.get("id"), error),
+                            canonical=canonical,
+                            max_frame_bytes=max_frame_bytes)
+
+    def handle_route(message: dict) -> None:
         request_id = message.get("id")
-        kind = message.get("type")
         try:
-            if kind in ("route_batch_request", "route_request"):
-                questions = list(message["questions"]) \
-                    if kind == "route_batch_request" else [message["question"]]
-                wire_trace = message.get("trace")
-                context = None
-                if isinstance(wire_trace, dict) and wire_trace.get("trace_id"):
-                    context = tracer.adopt(
-                        str(wire_trace["trace_id"]),
-                        wire_trace.get("parent_span_id"),
-                        name="worker", shard=worker.shard_id, pid=os.getpid())
-                try:
-                    routes = worker.route_batch(
-                        questions,
-                        max_candidates=message.get("max_candidates"),
-                        careful=bool(message.get("careful", False)),
-                        trace=context)
-                except Exception as error:
-                    if context is not None:
-                        context.finish(status="error",
-                                       error=f"{type(error).__name__}: {error}")
-                    raise
+            careful = bool(message.get("careful", False))
+            if slow_careful_seconds > 0.0 and careful:
+                time.sleep(slow_careful_seconds)  # injected slow shard (tests)
+            questions = list(message["questions"]) \
+                if message.get("type") == "route_batch_request" \
+                else [message["question"]]
+            wire_trace = message.get("trace")
+            context = None
+            if isinstance(wire_trace, dict) and wire_trace.get("trace_id"):
+                context = tracer.adopt(
+                    str(wire_trace["trace_id"]),
+                    wire_trace.get("parent_span_id"),
+                    name="worker", shard=worker.shard_id, pid=os.getpid())
+            try:
+                routes = worker.route_batch(
+                    questions,
+                    max_candidates=message.get("max_candidates"),
+                    careful=careful,
+                    trace=context)
+            except Exception as error:
+                if context is not None:
+                    context.finish(status="error",
+                                   error=f"{type(error).__name__}: {error}")
+                raise
+            if send_binary:
+                descriptor, segment = route_lists_to_binary(routes)
+                reply = {"type": "route_response", "id": request_id,
+                         "routes_binary": descriptor}
+            else:
+                segment = None
                 reply = {"type": "route_response", "id": request_id,
                          "routes": route_lists_to_payload(routes)}
-                if context is not None:
-                    context.finish()
-                    reply["spans"] = context.span_dicts()
-            elif kind == "stats_request":
-                reply = {"type": "stats_response", "id": request_id,
-                         "stats": worker.stats()}
-            elif kind == "invalidate_cache":
-                worker.notify_catalog_changed()
-                reply = {"type": "ok", "id": request_id}
-            elif kind == "ping":
-                reply = {"type": "pong", "id": request_id, "pid": os.getpid()}
-            elif kind == "shutdown":
-                write_frame(writer, {"type": "shutdown_ack", "id": request_id},
-                            max_frame_bytes=max_frame_bytes)
-                break
-            elif kind == "crash":
-                os._exit(70)  # test hook: die without replying
-            else:
-                reply = error_message(
-                    request_id,
-                    ProtocolError(f"worker cannot handle message type {kind!r}"))
+            if context is not None:
+                context.finish()
+                reply["spans"] = context.span_dicts()
         except Exception as error:  # request-scoped: report, keep serving
-            reply = error_message(request_id, error)
-        try:
-            write_frame(writer, reply, max_frame_bytes=max_frame_bytes)
-        except FrameTooLargeError as error:
-            # An oversized *reply* is request-scoped too: answer with an error
-            # frame instead of dying -- otherwise the dispatcher would retry
-            # the same lethal batch against every freshly-respawned replica.
-            write_frame(writer, error_message(request_id, error),
-                        max_frame_bytes=max_frame_bytes)
+            send(error_message(request_id, error))
+            return
+        send(reply, segment)
+
+    executor = ThreadPoolExecutor(max_workers=max(1, max_concurrency),
+                                  thread_name_prefix="repro-procworker-decode")
+    try:
+        while True:
+            message = read_frame(reader, max_frame_bytes=max_frame_bytes)
+            if message is None:
+                break  # dispatcher closed the pipe: treat as shutdown
+            request_id = message.get("id")
+            kind = message.get("type")
+            if kind in ("route_batch_request", "route_request"):
+                executor.submit(handle_route, message)
+                continue
+            try:
+                if kind == "stats_request":
+                    reply = {"type": "stats_response", "id": request_id,
+                             "stats": worker.stats()}
+                elif kind == "invalidate_cache":
+                    worker.notify_catalog_changed()
+                    reply = {"type": "ok", "id": request_id}
+                elif kind == "ping":
+                    # Answered inline on the reader thread: out-of-band
+                    # liveness, even with every decode slot busy.
+                    reply = {"type": "pong", "id": request_id, "pid": os.getpid()}
+                elif kind == "shutdown":
+                    # Graceful drain: finish every in-flight decode (their
+                    # replies hit the pipe first), then ack and stop.
+                    executor.shutdown(wait=True)
+                    send({"type": "shutdown_ack", "id": request_id})
+                    return
+                elif kind == "crash":
+                    os._exit(70)  # test hook: die without replying
+                else:
+                    reply = error_message(
+                        request_id,
+                        ProtocolError(f"worker cannot handle message type {kind!r}"))
+            except Exception as error:  # request-scoped: report, keep serving
+                reply = error_message(request_id, error)
+            send(reply)
+    finally:
+        executor.shutdown(wait=True)
 
 
 def worker_main(argv: list[str] | None = None) -> int:
@@ -168,6 +251,8 @@ def worker_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-size", type=int, default=2048)
     parser.add_argument("--cache-ttl-seconds", type=float, default=None)
     parser.add_argument("--max-frame-bytes", type=int, default=MAX_FRAME_BYTES)
+    parser.add_argument("--serve-concurrency", type=int, default=SERVE_CONCURRENCY,
+                        help="concurrent route decodes per worker process")
     arguments = parser.parse_args(argv)
 
     # The frame stream owns fd 1.  Re-point sys.stdout at stderr so a stray
@@ -175,6 +260,11 @@ def worker_main(argv: list[str] | None = None) -> int:
     writer = sys.stdout.buffer
     sys.stdout = sys.stderr
     reader = sys.stdin.buffer
+
+    try:
+        slow_careful = float(os.environ.get(SLOW_CAREFUL_ENV, "0") or "0")
+    except ValueError:
+        slow_careful = 0.0
 
     worker = ShardWorker.from_checkpoint(
         arguments.shard_id, Path(arguments.checkpoint),
@@ -189,7 +279,9 @@ def worker_main(argv: list[str] | None = None) -> int:
         escalation_num_beams=arguments.escalation_num_beams,
     )
     try:
-        serve(worker, reader, writer, max_frame_bytes=arguments.max_frame_bytes)
+        serve(worker, reader, writer, max_frame_bytes=arguments.max_frame_bytes,
+              max_concurrency=arguments.serve_concurrency,
+              slow_careful_seconds=slow_careful)
     except (BrokenPipeError, ProtocolError):
         return 1  # dispatcher vanished or the stream corrupted; nothing to save
     finally:
@@ -205,6 +297,25 @@ def _repro_source_root() -> Path:
     return Path(repro.__file__).resolve().parents[1]
 
 
+class _PendingRequest:
+    """One in-flight frame on the receiver thread's demux table."""
+
+    __slots__ = ("event", "reply", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.reply: dict | None = None
+        self.error: BaseException | None = None
+
+    def complete(self, reply: dict) -> None:
+        self.reply = reply
+        self.event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self.event.set()
+
+
 class ProcShardWorker:
     """A shard worker living in a subprocess, driven over the wire protocol.
 
@@ -213,17 +324,26 @@ class ProcShardWorker:
     ``databases``), plus process lifecycle:
 
     * **spawn** -- boots ``python -m repro.cluster.procworker`` on a per-shard
-      checkpoint directory and runs the version handshake;
+      checkpoint directory, runs the version handshake, and starts a receiver
+      thread that demultiplexes responses by correlation id into per-request
+      events -- many frames ride the pipe concurrently (``pipeline=False``
+      restores the serial one-frame discipline);
     * **timeout** -- a request that misses ``request_timeout_seconds`` kills
       the process (a wedged decode cannot be cancelled politely) and raises
-      :class:`ShardTimeoutError`, which the replica layer counts and fails
-      over;
-    * **crash** -- EOF mid-request raises :class:`WorkerCrashedError`; with
-      ``auto_respawn`` the next request transparently boots a fresh process
-      from the same checkpoint (counted in ``respawns``);
-    * **close** -- takes the request lock (draining any in-flight request),
-      sends ``shutdown``, and escalates to ``terminate``/``kill`` only if the
-      worker does not exit in time.
+      :class:`ShardTimeoutError`; every *other* in-flight request on the dead
+      pipe fails as :class:`WorkerCrashedError`.  The replica layer counts
+      both and fails over;
+    * **crash** -- EOF with requests in flight fails them all as
+      :class:`WorkerCrashedError`; with ``auto_respawn`` the next request
+      transparently boots a fresh process from the same checkpoint (counted
+      in ``respawns``);
+    * **close** -- waits for in-flight requests to drain, sends ``shutdown``,
+      and escalates to ``kill`` only if the worker does not exit in time.
+
+    Locking: ``_lifecycle`` (an RLock) guards spawn/destroy/close and the
+    writer; ``_pending_lock`` guards only the demux table and its counters.
+    The receiver thread takes *only* ``_pending_lock``, so lifecycle
+    transitions can always join it without deadlock.
     """
 
     def __init__(self, shard_id: int, checkpoint_dir: str | Path, *,
@@ -235,9 +355,15 @@ class ProcShardWorker:
                  control_timeout_seconds: float = 10.0,
                  spawn_timeout_seconds: float = 60.0,
                  auto_respawn: bool = True,
+                 pipeline: bool = True,
+                 protocol_cap: int = PROTOCOL_VERSION,
                  python_executable: str | None = None,
                  max_frame_bytes: int = MAX_FRAME_BYTES,
                  clock: Callable[[], float] = time.monotonic) -> None:
+        if not MIN_PROTOCOL_VERSION <= protocol_cap <= PROTOCOL_VERSION:
+            raise ValueError(
+                f"protocol_cap must be in [{MIN_PROTOCOL_VERSION}, "
+                f"{PROTOCOL_VERSION}], not {protocol_cap}")
         self.shard_id = shard_id
         self.checkpoint_dir = Path(checkpoint_dir)
         self.escalation_num_beams = escalation_num_beams
@@ -251,26 +377,68 @@ class ProcShardWorker:
         self.control_timeout_seconds = control_timeout_seconds
         self.spawn_timeout_seconds = spawn_timeout_seconds
         self.auto_respawn = auto_respawn
+        #: ``True`` multiplexes frames on the pipe (protocol 3); ``False``
+        #: serializes whole requests behind one gate -- the faithful old-
+        #: transport twin A/B benchmarks compare against.
+        self.pipeline = pipeline
+        #: Highest protocol this proxy acks, whatever the child offers.
+        #: Capping at 2 yields a protocol-2 connection (hex-float JSON
+        #: payloads, no binary frames) against an unmodified child -- the
+        #: interop knob tests and benchmarks use.
+        self.protocol_cap = protocol_cap
         self.python_executable = python_executable or sys.executable
         self.max_frame_bytes = max_frame_bytes
         self.databases: tuple[str, ...] = ()
-        #: What the current child speaks (from its hello); a respawn may
-        #: change it, e.g. when an upgraded proxy drives an old checkpointed
-        #: worker image.  Trace fields are only sent to trace-aware peers.
+        #: What the connection speaks: ``min(child's hello, protocol_cap)``.
+        #: A respawn may change it, e.g. when an upgraded proxy drives an old
+        #: checkpointed worker image.  Trace/binary fields are only exchanged
+        #: with peers whose negotiated version understands them.
         self.peer_protocol = 1
         self.respawns = -1  # first _spawn() brings it to 0
         self.requests_sent = 0
         self.timeouts = 0
         self.crashes = 0
+        #: Frames sent while at least one other frame was already in flight
+        #: (the multiplexing win, observable).
+        self.pipelined_frames = 0
+        #: Highest concurrent in-flight depth ever reached.
+        self.max_in_flight = 0
+        #: Replies whose routes arrived in the kind-1 binary form.
+        self.binary_responses = 0
         self._clock = clock
         #: When the child last answered anything (set at handshake and on
-        #: every reply) — the heartbeat the health probe ages.
+        #: every reply) -- the heartbeat the health probe ages.
         self.last_reply_at: float | None = None
         #: Recent spawn timestamps, for the crash-loop (respawn-velocity)
         #: probe; bounded, since only the policy window ever matters.
         self._respawn_times: deque[float] = deque(maxlen=32)
         self._request_id = 0
-        self._lock = threading.Lock()
+        #: Lifecycle lock: spawn / destroy / close / the writer.  Reentrant
+        #: so the request path can destroy-and-respawn under it.
+        self._lifecycle = threading.RLock()
+        #: Demux-table lock; the *only* lock the receiver thread takes.
+        self._pending_lock = threading.Lock()
+        self._pending: dict[int, _PendingRequest] = {}
+        #: Depth histogram: in-flight depth at send time -> frame count
+        #: (the in-flight p95 in TRANSPORT_SUMMARY comes from this).
+        self._in_flight_depths: dict[int, int] = {}
+        #: Serial-mode gate: held across a whole request when pipelining is
+        #: off, restoring the one-frame-in-flight discipline.
+        self._serial_gate = threading.Lock()
+        #: Bumped on every spawn/destroy; a receiver thread that wakes up to
+        #: a different generation stands down silently.
+        self._generation = 0
+        self._receiver: threading.Thread | None = None
+        #: Set by the receiver when the pipe died under it: the child may
+        #: still be mid-exit (``poll()`` racy), but the connection is gone.
+        self._stream_dead = False
+        #: Set during graceful close so the receiver does not count the
+        #: worker's own clean exit as a crash.
+        self._draining = False
+        #: Byte counters accumulated across respawns (live halves come from
+        #: the current reader/writer).
+        self._bytes_sent_total = 0
+        self._bytes_received_total = 0
         self._process: subprocess.Popen | None = None
         self._reader: FrameReader | None = None
         self._writer: FrameWriter | None = None
@@ -298,6 +466,9 @@ class ProcShardWorker:
         existing = environment.get("PYTHONPATH")
         environment["PYTHONPATH"] = source_root if not existing \
             else os.pathsep.join([source_root, existing])
+        self._generation += 1
+        generation = self._generation
+        self._stream_dead = False
         self._process = subprocess.Popen(
             self._command(), stdin=subprocess.PIPE, stdout=subprocess.PIPE,
             env=environment)
@@ -315,9 +486,12 @@ class ProcShardWorker:
             if hello.get("type") != "hello":
                 raise ProtocolError(f"expected hello, got {hello.get('type')!r}")
             check_protocol(hello)
-            self.peer_protocol = int(hello["protocol"])
+            # Negotiate downward: the connection speaks the smaller of what
+            # the child offers and what this proxy is willing to ack.
+            self.peer_protocol = min(int(hello["protocol"]), self.protocol_cap)
             self.databases = tuple(hello.get("databases", ()))
-            self._writer.write({"type": "hello_ack", "protocol": hello["protocol"]},
+            self._writer.write({"type": "hello_ack",
+                                "protocol": self.peer_protocol},
                                timeout_seconds=self.spawn_timeout_seconds)
             self.last_reply_at = self._clock()
             self._respawn_times.append(self._clock())
@@ -329,29 +503,92 @@ class ProcShardWorker:
         except Exception:
             self._destroy()
             raise
+        self._receiver = threading.Thread(
+            target=self._receive_loop, args=(self._reader, generation),
+            name=f"repro-procworker-recv-{self.shard_id}", daemon=True)
+        self._receiver.start()
+
+    def _receive_loop(self, reader: FrameReader, generation: int) -> None:
+        """Demultiplex replies into their pending events until the pipe dies.
+
+        Takes only ``_pending_lock``, never ``_lifecycle``: destroy paths
+        hold the lifecycle lock while joining this thread.
+        """
+        try:
+            while True:
+                reply = reader.read(timeout_seconds=None)
+                if generation != self._generation:
+                    return  # a destroy superseded this connection
+                if reply is None:
+                    raise WorkerCrashedError(
+                        f"shard {self.shard_id} worker closed its pipe")
+                self.last_reply_at = self._clock()
+                with self._pending_lock:
+                    pending = self._pending.pop(reply.get("id"), None)
+                if pending is not None:
+                    pending.complete(reply)
+                # else: a reply that lost the race with its own timeout --
+                # the process is being killed anyway; drop it.
+        except BaseException as error:
+            if generation != self._generation or self._draining or self._closed:
+                return  # deliberate teardown, not a crash
+            self._stream_dead = True
+            exit_code = None
+            process = self._process
+            if process is not None:
+                exit_code = process.poll()
+            self.crashes += 1
+            description = (f"shard {self.shard_id} worker died mid-request "
+                           f"(exit code {exit_code})"
+                           if isinstance(error, WorkerCrashedError)
+                           else f"shard {self.shard_id} worker reply stream "
+                                f"failed ({type(error).__name__}: {error})")
+            self._fail_in_flight(lambda: WorkerCrashedError(description))
+
+    def _fail_in_flight(self, make_error: Callable[[], BaseException]) -> int:
+        """Fail every pending request (each gets its own exception instance,
+        since they are raised on different caller threads)."""
+        with self._pending_lock:
+            pending, self._pending = list(self._pending.values()), {}
+        for entry in pending:
+            entry.fail(make_error())
+        return len(pending)
 
     def _destroy(self) -> None:
-        """Hard-stop the child and release its pipes."""
-        process, self._process = self._process, None
-        reader, self._reader = self._reader, None
-        writer, self._writer = self._writer, None
-        if reader is not None:
-            reader.close()
-        if writer is not None:
-            writer.close()
-        if process is not None:
-            if process.poll() is None:
-                process.kill()
-            try:
-                process.wait(timeout=5.0)
-            except subprocess.TimeoutExpired:  # pragma: no cover - kill is final
-                pass
-            for pipe in (process.stdin, process.stdout):
-                if pipe is not None:
-                    try:
-                        pipe.close()
-                    except OSError:
-                        pass
+        """Hard-stop the child, fail anything in flight, release its pipes."""
+        with self._lifecycle:
+            self._generation += 1  # stand down the current receiver
+            process, self._process = self._process, None
+            reader, self._reader = self._reader, None
+            writer, self._writer = self._writer, None
+            receiver, self._receiver = self._receiver, None
+            self._fail_in_flight(lambda: WorkerCrashedError(
+                f"shard {self.shard_id} worker was stopped with requests "
+                f"in flight"))
+            if process is not None:
+                if process.poll() is None:
+                    process.kill()
+                try:
+                    process.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover - kill is final
+                    pass
+            # The kill closed the child's end: EOF wakes a blocked receiver,
+            # which sees the bumped generation and stands down.
+            if receiver is not None and receiver is not threading.current_thread():
+                receiver.join(timeout=5.0)
+            if reader is not None:
+                self._bytes_received_total += reader.bytes_read
+                reader.close()
+            if writer is not None:
+                self._bytes_sent_total += writer.bytes_written
+                writer.close()
+            if process is not None:
+                for pipe in (process.stdin, process.stdout):
+                    if pipe is not None:
+                        try:
+                            pipe.close()
+                        except OSError:
+                            pass
 
     @property
     def process(self) -> subprocess.Popen | None:
@@ -366,33 +603,54 @@ class ProcShardWorker:
         process = self._process  # snapshot: a timing-out request may _destroy
         return process is not None and process.poll() is None
 
+    @property
+    def in_flight(self) -> int:
+        """How many requests ride the pipe right now."""
+        with self._pending_lock:
+            return len(self._pending)
+
     def kill(self) -> None:
         """Hard-kill the child (the crash-injection path used by tests)."""
-        with self._lock:
-            self._destroy()
+        self._destroy()
 
     def crash(self) -> None:
-        """Chaos hook: make the worker die *mid-request* (it receives a
-        ``crash`` frame and exits without replying), exercising exactly the
-        path a segfaulting or OOM-killed worker would take."""
-        with self._lock:
+        """Chaos hook: make the worker die (it receives a ``crash`` frame and
+        exits without replying), exercising exactly the path a segfaulting or
+        OOM-killed worker would take -- including failing whatever other
+        frames are in flight at that moment."""
+        with self._lifecycle:
             if not self.is_alive():
                 return
+            self._request_id += 1
             try:
-                self._request_locked({"type": "crash"}, "pong", 10.0)
-            except (WorkerCrashedError, ShardTimeoutError):
-                pass  # dying without a reply is the point
+                self._writer.write(
+                    {"type": "crash", "id": self._request_id},
+                    canonical=self.peer_protocol < BINARY_PROTOCOL_VERSION,
+                    timeout_seconds=self.control_timeout_seconds)
+            except (TransportTimeoutError, OSError):
+                return  # already dead / wedged; the receiver handles the rest
+            process = self._process
+        if process is not None:
+            try:
+                process.wait(timeout=self.control_timeout_seconds)
+            except subprocess.TimeoutExpired:  # pragma: no cover - exit is immediate
+                pass
+        # Let the receiver notice the EOF (it counts the crash and fails the
+        # in-flight requests) before the caller inspects the counters.
+        receiver = self._receiver
+        if receiver is not None:
+            receiver.join(timeout=self.control_timeout_seconds)
 
     def respawn(self) -> None:
         """Kill (if needed) and boot a fresh process from the checkpoint."""
-        with self._lock:
+        with self._lifecycle:
             self._destroy()
             self._spawn()
 
     def _ensure_alive_locked(self) -> None:
         if self._closed:
             raise RuntimeError("the worker proxy has been closed")
-        if self.is_alive():
+        if self.is_alive() and not self._stream_dead:
             return
         if not self.auto_respawn:
             raise WorkerCrashedError(f"shard {self.shard_id} worker is not running")
@@ -400,99 +658,174 @@ class ProcShardWorker:
         self._spawn()
 
     # -- request path ----------------------------------------------------------
-    def _request_locked(self, message: dict, expected: str,
-                        timeout_seconds: float | None) -> dict:
-        self._request_id += 1
-        request_id = self._request_id
-        message = dict(message, id=request_id)
-        self.requests_sent += 1
-        try:
-            # The deadline covers both halves: a worker that stops draining
-            # stdin mid-wave times out just like one that never replies.
-            self._writer.write(message, timeout_seconds=timeout_seconds)
-            reply = self._reader.read(timeout_seconds=timeout_seconds)
-        except TransportTimeoutError as error:
-            self.timeouts += 1
-            self._destroy()  # a wedged decode cannot be cancelled politely
-            raise ShardTimeoutError(
-                f"shard {self.shard_id} worker did not answer "
-                f"{message['type']} within {timeout_seconds}s") from error
-        except (BrokenPipeError, OSError) as error:
-            self.crashes += 1
-            self._destroy()
-            raise WorkerCrashedError(
-                f"shard {self.shard_id} worker pipe broke mid-request") from error
-        if reply is None:
-            self.crashes += 1
-            code = self._process.poll() if self._process is not None else None
-            self._destroy()
-            raise WorkerCrashedError(
-                f"shard {self.shard_id} worker died mid-request (exit code {code})")
-        self.last_reply_at = self._clock()  # any reply at all is a heartbeat
+    def _begin_request(self, message: dict, timeout_seconds: float | None,
+                       *, ensure: bool = True,
+                       trace_context: Callable[[], dict] | None = None,
+                       ) -> tuple[int, _PendingRequest, int]:
+        """Register a pending entry and write the frame.
+
+        Returns ``(request id, pending entry, in-flight depth at send)``.
+        The pending entry is registered *before* the write, so a reply can
+        never race past its own bookkeeping.
+        """
+        with self._lifecycle:
+            if self._closed:
+                raise RuntimeError("the worker proxy has been closed")
+            if ensure:
+                self._ensure_alive_locked()
+            elif self._stream_dead or not self.is_alive():
+                raise WorkerCrashedError(
+                    f"shard {self.shard_id} worker is not running")
+            self._request_id += 1
+            request_id = self._request_id
+            message = dict(message, id=request_id)
+            # peer_protocol is read under the lock: _ensure_alive_locked may
+            # have just respawned a (differently-versioned) child.
+            if trace_context is not None \
+                    and self.peer_protocol >= TRACE_PROTOCOL_VERSION:
+                message["trace"] = trace_context()
+            pending = _PendingRequest()
+            with self._pending_lock:
+                depth = len(self._pending) + 1
+                self._pending[request_id] = pending
+                if depth > 1:
+                    self.pipelined_frames += 1
+                if depth > self.max_in_flight:
+                    self.max_in_flight = depth
+                self._in_flight_depths[depth] = \
+                    self._in_flight_depths.get(depth, 0) + 1
+            self.requests_sent += 1
+            try:
+                self._writer.write(
+                    message,
+                    canonical=self.peer_protocol < BINARY_PROTOCOL_VERSION,
+                    timeout_seconds=timeout_seconds)
+            except TransportTimeoutError as error:
+                with self._pending_lock:
+                    self._pending.pop(request_id, None)
+                self.timeouts += 1
+                self._destroy()  # a wedged pipe cannot be drained politely
+                raise ShardTimeoutError(
+                    f"shard {self.shard_id} worker did not drain "
+                    f"{message['type']} within {timeout_seconds}s") from error
+            except (BrokenPipeError, OSError) as error:
+                with self._pending_lock:
+                    self._pending.pop(request_id, None)
+                self.crashes += 1
+                self._destroy()
+                raise WorkerCrashedError(
+                    f"shard {self.shard_id} worker pipe broke mid-request"
+                ) from error
+        return request_id, pending, depth
+
+    def _await_reply(self, request_id: int, pending: _PendingRequest,
+                     expected: str, timeout_seconds: float | None,
+                     label: str) -> dict:
+        """Wait for the receiver to demux this request's reply.
+
+        A deadline miss kills the process (failing every other in-flight
+        frame with it) and raises :class:`ShardTimeoutError`.
+        """
+        if not pending.event.wait(timeout_seconds):
+            with self._lifecycle:
+                # Re-check under the lock: the reply may have just landed.
+                if not pending.event.is_set():
+                    with self._pending_lock:
+                        self._pending.pop(request_id, None)
+                    self.timeouts += 1
+                    self._destroy()
+                    raise ShardTimeoutError(
+                        f"shard {self.shard_id} worker did not answer "
+                        f"{label} within {timeout_seconds}s")
+        if pending.error is not None:
+            raise pending.error
+        reply = pending.reply
+        assert reply is not None
         if reply.get("type") == "error":
             raise WorkerError(f"shard {self.shard_id} worker: "
                               f"{reply.get('error')}: {reply.get('message')}")
-        if reply.get("type") != expected or reply.get("id") != request_id:
-            self._destroy()  # reply stream out of sync: cannot trust it anymore
+        if reply.get("type") != expected:
+            self._destroy()  # correlation broke: cannot trust the stream
             raise ProtocolError(
                 f"expected {expected} for request {request_id}, got "
-                f"{reply.get('type')!r} for {reply.get('id')!r}")
+                f"{reply.get('type')!r}")
         return reply
+
+    def _decode_routes(self, reply: dict) -> list[list[SchemaRoute]]:
+        descriptor = reply.get("routes_binary")
+        if descriptor is not None:
+            self.binary_responses += 1
+            return route_lists_from_binary(descriptor, reply.get(BINARY_KEY, b""))
+        return route_lists_from_payload(reply["routes"])
 
     def route_batch(self, questions: list[str], max_candidates: int | None = None,
                     careful: bool = False, trace=None) -> list[list[SchemaRoute]]:
         """Route one scatter wave in the worker process.
 
-        With a ``trace``, a ``wire`` span covers the whole round-trip; the
-        propagation context rides the request frame (only to trace-aware
-        peers -- a protocol-1 worker never sees the field) and the worker's
-        own spans come back in the reply, rebased and stitched under the
-        ``wire`` span."""
-        span = trace.start_span("wire", shard=self.shard_id,
-                                questions=len(questions)) \
-            if trace is not None else None
+        With a ``trace``, a ``wire`` span covers the whole round-trip and is
+        tagged with the in-flight depth at send time; the propagation context
+        rides the request frame (only to trace-aware peers -- a protocol-1
+        worker never sees the field) and the worker's own spans come back in
+        the reply, rebased and stitched under the ``wire`` span."""
+        gate = None if self.pipeline else self._serial_gate
+        if gate is not None:
+            gate.acquire()
         try:
-            with self._lock:
-                self._ensure_alive_locked()
+            span = trace.start_span("wire", shard=self.shard_id,
+                                    questions=len(questions)) \
+                if trace is not None else None
+            try:
                 message = {"type": "route_batch_request",
                            "questions": list(questions),
                            "max_candidates": max_candidates, "careful": careful}
-                # peer_protocol is read under the lock: _ensure_alive_locked
-                # may have just respawned a (differently-versioned) child.
-                if span is not None \
-                        and self.peer_protocol >= TRACE_PROTOCOL_VERSION:
-                    message["trace"] = trace.wire_context(span)
-                reply = self._request_locked(message, "route_response",
-                                             self.request_timeout_seconds)
-            routes = route_lists_from_payload(reply["routes"])
-            if len(routes) != len(questions):
-                raise ProtocolError(f"worker answered {len(routes)} route lists "
-                                    f"for {len(questions)} questions")
-        except BaseException as exc:
+                request_id, pending, depth = self._begin_request(
+                    message, self.request_timeout_seconds,
+                    trace_context=(lambda: trace.wire_context(span))
+                    if span is not None else None)
+                if span is not None:
+                    span.annotate(in_flight=depth)
+                reply = self._await_reply(request_id, pending, "route_response",
+                                          self.request_timeout_seconds,
+                                          "route_batch_request")
+                routes = self._decode_routes(reply)
+                if len(routes) != len(questions):
+                    raise ProtocolError(
+                        f"worker answered {len(routes)} route lists "
+                        f"for {len(questions)} questions")
+            except BaseException as exc:
+                if span is not None:
+                    span.end(status="error", error=f"{type(exc).__name__}: {exc}")
+                raise
             if span is not None:
-                span.end(status="error", error=f"{type(exc).__name__}: {exc}")
-            raise
-        if span is not None:
-            span.end()
-            remote_spans = reply.get("spans")
-            if remote_spans:
-                trace.add_remote_spans(remote_spans, anchor=span)
-        return routes
+                span.end()
+                remote_spans = reply.get("spans")
+                if remote_spans:
+                    trace.add_remote_spans(remote_spans, anchor=span)
+            return routes
+        finally:
+            if gate is not None:
+                gate.release()
 
-    def ping(self, timeout_seconds: float | None = None) -> float:
-        """Heartbeat: round-trip one ``ping`` frame, returning seconds taken."""
+    def ping(self, timeout_seconds: float | None = None,
+             *, ensure: bool = True) -> float:
+        """Heartbeat: round-trip one ``ping`` frame, returning seconds taken.
+
+        Out-of-band on a multiplexed connection: the child answers pings on
+        its reader thread, so this measures liveness even while every decode
+        slot is busy.  ``ensure=False`` never boots a process as a side
+        effect (the health probe's mode)."""
+        timeout = timeout_seconds or self.control_timeout_seconds
         started = time.monotonic()
-        with self._lock:
-            self._ensure_alive_locked()
-            self._request_locked({"type": "ping"}, "pong",
-                                 timeout_seconds or self.control_timeout_seconds)
+        request_id, pending, _ = self._begin_request({"type": "ping"}, timeout,
+                                                     ensure=ensure)
+        self._await_reply(request_id, pending, "pong", timeout, "ping")
         return time.monotonic() - started
 
     def notify_catalog_changed(self) -> None:
-        with self._lock:
-            self._ensure_alive_locked()
-            self._request_locked({"type": "invalidate_cache"}, "ok",
-                                 self.control_timeout_seconds)
+        request_id, pending, _ = self._begin_request(
+            {"type": "invalidate_cache"}, self.control_timeout_seconds)
+        self._await_reply(request_id, pending, "ok",
+                          self.control_timeout_seconds, "invalidate_cache")
 
     def set_databases(self, databases: tuple[str, ...], master) -> None:
         raise ClusterError(
@@ -505,21 +838,23 @@ class ProcShardWorker:
 
         Like :meth:`stats`, this never boots a process as a side effect: a
         dead child reports ``failing`` and leaves respawning to the request
-        path (or an operator).  A stale heartbeat on an *idle* worker is
-        re-checked with one ping; a busy worker (request in flight, lock
-        held) is working by definition, so staleness is not held against it.
-        """
+        path (or an operator).  A stale heartbeat is re-checked with one
+        *out-of-band* ping -- since the multiplexed transport answers pings on
+        the child's reader thread, this is a real liveness check even while
+        requests are in flight (the old transport had to assume a busy worker
+        was working, because its one request slot was occupied)."""
         from repro.obs.health import HealthPolicy, HealthReport
 
         policy = policy or HealthPolicy()
         report = HealthReport(component=f"shard-{self.shard_id}-procworker")
         report.details.update(pid=self.pid, respawns=self.respawns,
                               timeouts=self.timeouts, crashes=self.crashes,
-                              peer_protocol=self.peer_protocol)
+                              peer_protocol=self.peer_protocol,
+                              in_flight=self.in_flight)
         if self._closed:
             report.degrade("failing", "worker proxy is closed")
             return report
-        if not self.is_alive():
+        if not self.is_alive() or self._stream_dead:
             report.degrade("failing", "worker process is not running")
             return report
         now = self._clock()
@@ -540,31 +875,43 @@ class ProcShardWorker:
         report.details["heartbeat_age_seconds"] = (
             round(age, 3) if age is not None else None)
         if age is not None and age > policy.heartbeat_max_age_seconds:
-            if self._lock.acquire(blocking=False):
-                try:
-                    self._request_locked({"type": "ping"}, "pong",
-                                         self.control_timeout_seconds)
-                except (ClusterError, ProtocolError):
-                    report.degrade("failing",
-                                   f"no reply for {age:.0f}s and the "
-                                   f"health ping failed")
-                finally:
-                    self._lock.release()
+            try:
+                seconds = self.ping(self.control_timeout_seconds, ensure=False)
+            except (ClusterError, ProtocolError, RuntimeError):
+                report.degrade("failing",
+                               f"no reply for {age:.0f}s and the "
+                               f"health ping failed")
             else:
-                # Lock held -> a request is in flight right now; the child is
-                # busy decoding, not wedged.
-                report.details["heartbeat_check"] = "skipped: request in flight"
+                report.details["heartbeat_check"] = \
+                    f"ping answered in {seconds:.3f}s"
         return report
 
     def transport_stats(self) -> dict:
+        reader = self._reader  # snapshots: a concurrent destroy may None them
+        writer = self._writer
+        with self._pending_lock:
+            in_flight = len(self._pending)
+            depths = dict(self._in_flight_depths)
         return {
             "backend": "subprocess",
             "pid": self.pid,
             "alive": self.is_alive(),
+            "protocol": self.peer_protocol,
+            "pipelined": self.pipeline,
             "respawns": self.respawns,
             "requests_sent": self.requests_sent,
             "timeouts": self.timeouts,
             "crashes": self.crashes,
+            "in_flight": in_flight,
+            "max_in_flight": self.max_in_flight,
+            "pipelined_frames": self.pipelined_frames,
+            "binary_responses": self.binary_responses,
+            "bytes_sent": self._bytes_sent_total
+            + (writer.bytes_written if writer is not None else 0),
+            "bytes_received": self._bytes_received_total
+            + (reader.bytes_read if reader is not None else 0),
+            "in_flight_depths": {str(depth): count
+                                 for depth, count in sorted(depths.items())},
         }
 
     def _shell_stats(self) -> dict:
@@ -581,39 +928,63 @@ class ProcShardWorker:
         as a side effect nor crash the cluster-wide rollup exactly when a
         shard goes down.
         """
-        if not self.is_alive():
+        if self._closed or self._stream_dead or not self.is_alive():
             return self._shell_stats()
-        with self._lock:
-            if self._closed or not self.is_alive():
-                return self._shell_stats()
-            try:
-                reply = self._request_locked({"type": "stats_request"},
-                                             "stats_response",
-                                             self.control_timeout_seconds)
-            except ClusterError:  # crashed / timed out / errored mid-poll
-                return self._shell_stats()
+        try:
+            request_id, pending, _ = self._begin_request(
+                {"type": "stats_request"}, self.control_timeout_seconds,
+                ensure=False)
+            reply = self._await_reply(request_id, pending, "stats_response",
+                                      self.control_timeout_seconds,
+                                      "stats_request")
+        except (ClusterError, ProtocolError, RuntimeError):
+            return self._shell_stats()  # crashed / timed out / closed mid-poll
         stats = reply["stats"]
         stats["transport"] = self.transport_stats()
         return stats
 
     # -- shutdown --------------------------------------------------------------
     def close(self, shutdown_timeout_seconds: float = 10.0) -> None:
-        """Graceful stop: drain, ``shutdown``, wait, then escalate."""
-        with self._lock:
+        """Graceful stop: drain in-flight frames, ``shutdown``, wait, then
+        escalate to a hard kill only if the worker does not exit in time."""
+        with self._lifecycle:
             if self._closed:
                 return
             self._closed = True
-            if self._process is None:
-                return
-            if self.is_alive():
-                try:
-                    self._request_locked({"type": "shutdown"}, "shutdown_ack",
-                                         shutdown_timeout_seconds)
-                    self._process.wait(timeout=shutdown_timeout_seconds)
-                except (ClusterError, ProtocolError, subprocess.TimeoutExpired,
-                        OSError):
-                    pass  # fall through to the hard stop
+            self._draining = True
+            process = self._process
+        if process is None or process.poll() is not None or self._stream_dead:
             self._destroy()
+            return
+        # Drain: give requests already on the pipe until the deadline to come
+        # home before the shutdown frame jumps the (multiplexed) queue.
+        deadline = time.monotonic() + shutdown_timeout_seconds
+        while time.monotonic() < deadline:
+            with self._pending_lock:
+                if not self._pending:
+                    break
+            time.sleep(0.005)
+        pending = _PendingRequest()
+        with self._lifecycle:
+            try:
+                self._request_id += 1
+                request_id = self._request_id
+                with self._pending_lock:
+                    self._pending[request_id] = pending
+                self._writer.write(
+                    {"type": "shutdown", "id": request_id},
+                    canonical=self.peer_protocol < BINARY_PROTOCOL_VERSION,
+                    timeout_seconds=shutdown_timeout_seconds)
+            except (ClusterError, ProtocolError, OSError, AttributeError):
+                self._destroy()  # stream already gone: straight to the kill
+                return
+        # The child acks only after its decode executor fully drains.
+        pending.event.wait(shutdown_timeout_seconds)
+        try:
+            process.wait(timeout=shutdown_timeout_seconds)
+        except subprocess.TimeoutExpired:
+            pass  # fall through to the hard stop
+        self._destroy()
 
     def __enter__(self) -> "ProcShardWorker":
         return self

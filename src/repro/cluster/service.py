@@ -94,6 +94,12 @@ class ClusterConfig:
     #: exact full-vocabulary rescoring so the cross-shard merge still
     #: compares like with like.
     sliced_vocabulary: bool = False
+    #: Drive subprocess workers as multiplexing, pipelined clients (wire
+    #: protocol 3: correlation-id demux, concurrent in-flight frames, binary
+    #: route payloads).  ``False`` forces the serial protocol-2 discipline --
+    #: one frame in flight per worker, hex-float JSON payloads -- kept for
+    #: old-peer emulation and A/B benchmarks.  Inproc workers ignore this.
+    pipelined_transport: bool = True
     #: Per-replica attempt timeout (None = wait forever).
     shard_timeout_seconds: float | None = None
     #: Merge whatever shards answered instead of failing the whole request.
@@ -380,21 +386,25 @@ class ClusterRoutingService:
         self.metrics.increment("routed", len(questions))
         self._note_routed(results)
         elapsed = time.monotonic() - started
-        for _ in questions:
-            self.metrics.observe_latency(elapsed / len(questions))
+        self.metrics.observe_latency(elapsed / len(questions),
+                                     count=len(questions))
         return results
 
     def _note_routed(self, results: Sequence[list[SchemaRoute]]) -> None:
         """Record each question's merged top-1 database in its load window."""
+        # Tally per database first so a whole wave costs one lock acquisition
+        # per database, not two per question.
+        tally: dict[str, int] = {}
         for routes in results:
-            if not routes:
-                continue
-            database = routes[0].database
+            if routes:
+                database = routes[0].database
+                tally[database] = tally.get(database, 0) + 1
+        for database, count in tally.items():
             with self._load_lock:
                 window = self._routed_windows.get(database)
                 if window is None:
                     window = self._routed_windows[database] = WindowedCounter()
-            window.note()
+            window.note(count)
 
     def routing_load(self) -> dict:
         """Who is winning the traffic: trailing-window routed-answer counts.
@@ -472,12 +482,28 @@ class ClusterRoutingService:
         # inside the per-shard detail.
         cache_rollup = {"size": 0, "hits": 0, "misses": 0, "evictions": 0,
                         "expirations": 0, "invalidations": 0}
+        # Wire-level rollup across subprocess workers (absent for pure inproc
+        # fleets): how deep the multiplexed pipe runs and what it costs.
+        transport_rollup = {"workers": 0, "requests_sent": 0, "in_flight": 0,
+                            "max_in_flight": 0, "pipelined_frames": 0,
+                            "binary_responses": 0, "bytes_sent": 0,
+                            "bytes_received": 0, "timeouts": 0, "crashes": 0}
         for replica_set in self._shards:
             entry = replica_set.stats()
             entry["workers"] = [worker.stats() for worker in replica_set.workers]
             qps = 0.0
             window_qps = 0.0
             for worker_stats in entry["workers"]:
+                transport = worker_stats.get("transport")
+                if transport and transport.get("backend") == "subprocess":
+                    transport_rollup["workers"] += 1
+                    transport_rollup["max_in_flight"] = max(
+                        transport_rollup["max_in_flight"],
+                        transport.get("max_in_flight", 0))
+                    for key in ("requests_sent", "in_flight", "pipelined_frames",
+                                "binary_responses", "bytes_sent",
+                                "bytes_received", "timeouts", "crashes"):
+                        transport_rollup[key] += transport.get(key, 0)
                 # Count both decode tiers: escalated traffic goes through the
                 # careful service, whose counters live under "careful".
                 for tier in (worker_stats, worker_stats.get("careful")):
@@ -507,6 +533,8 @@ class ClusterRoutingService:
         snapshot["cache_hit_rate"] = (round(total_hits / total_requests, 4)
                                       if total_requests else 0.0)
         snapshot["cache"] = cache_rollup
+        if transport_rollup["workers"]:
+            snapshot["transport"] = transport_rollup
         snapshot["traces"] = self.tracer.journal.stats()
         snapshot["routing_load"] = self.routing_load()
         snapshot["dispatcher"] = {

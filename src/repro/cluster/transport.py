@@ -5,15 +5,22 @@ another host): the dispatcher side and the worker side exchange *frames* over
 any pair of byte streams -- a subprocess's stdin/stdout pipes today, a TCP
 socket tomorrow.  A frame is::
 
-    +-------+------+----------------+----------------------+
-    | magic | kind | payload length | payload (JSON bytes) |
-    | 2 B   | 1 B  | 4 B big-endian | length bytes         |
-    +-------+------+----------------+----------------------+
+    +-------+------+----------------+---------------------------+
+    | magic | kind | payload length | payload (`length` bytes)  |
+    | 2 B   | 1 B  | 4 B big-endian |                           |
+    +-------+------+----------------+---------------------------+
 
 ``magic`` (``b"RW"``) guards against a foreign stream, ``kind`` names the
-payload encoding (only JSON today; the byte exists so a binary weight/tensor
-encoding can be added without re-framing), and the length prefix bounds the
-read.  The *protocol version* is not in the header: it is negotiated once per
+payload encoding, and the length prefix bounds the read.  Kind 0 is a bare
+JSON object.  Kind 1 (protocol 3) is a JSON header followed by one opaque
+binary segment::
+
+    +----------------+--------------------+--------------------------+
+    | JSON length    | JSON header bytes  | binary segment           |
+    | 4 B big-endian |                    | payload minus the header |
+    +----------------+--------------------+--------------------------+
+
+The *protocol version* is not in the header: it is negotiated once per
 connection by the ``hello``/``hello_ack`` handshake, so a version bump costs
 one frame instead of four bytes per message.
 
@@ -22,10 +29,17 @@ Messages are plain dicts with a ``"type"`` key (see :data:`MESSAGE_TYPES`):
 ``stats_request`` -> ``stats_response``, ``ping`` -> ``pong``,
 ``invalidate_cache`` -> ``ok``, ``shutdown`` -> ``shutdown_ack``, and
 ``error`` for request-scoped failures.  Requests carry a caller-chosen
-``"id"`` that the response echoes.
+``"id"`` that the response echoes; since protocol 3 the id is a real
+correlation id -- responses may return out of order and are demultiplexed by
+it (see :mod:`repro.cluster.procworker`).
 
-Route lists cross the wire via :meth:`repro.core.router.SchemaRoute.to_payload`,
-which carries scores as C99 hex floats -- bit-exact across serialization, so
+Route lists cross the wire in one of two bit-exact forms.  Protocol <= 2
+peers exchange :meth:`repro.core.router.SchemaRoute.to_payload` dicts, whose
+scores are C99 hex floats.  Protocol 3 peers put the scores and identifier
+token sequences in the binary segment as raw little-endian float64 / int32
+arrays (:func:`route_lists_to_binary`) -- the ``np.tobytes`` round trip
+preserves every bit, same guarantee the hex floats bought, at a fraction of
+the encode/decode cost.  Either way
 :func:`repro.core.router.merge_route_lists` ranks identically whether the
 candidates were decoded in-process or round-tripped through a worker.
 """
@@ -39,14 +53,19 @@ import struct
 import time
 from typing import BinaryIO, Callable
 
+import numpy as np
+
 from repro.cluster.dispatcher import ClusterError
 from repro.core.router import SchemaRoute
 
 #: Bump on message-shape changes; negotiated in the handshake.  Version 2
 #: added the optional ``trace`` field on route requests (and ``spans`` on
-#: their responses); version-1 peers are still accepted -- the fields are
-#: simply never sent to (or expected from) them.
-PROTOCOL_VERSION = 2
+#: their responses).  Version 3 made frame ids real correlation ids
+#: (responses may return out of order) and added the kind-1 binary payload
+#: segment for route scores.  Older peers are still accepted -- the optional
+#: fields and the binary form are simply never sent to (or expected from)
+#: them.
+PROTOCOL_VERSION = 3
 
 #: Oldest peer version this side still interoperates with.
 MIN_PROTOCOL_VERSION = 1
@@ -54,10 +73,33 @@ MIN_PROTOCOL_VERSION = 1
 #: First version that understands the ``trace`` / ``spans`` fields.
 TRACE_PROTOCOL_VERSION = 2
 
+#: First version that understands kind-1 frames (binary route payloads) and
+#: out-of-order responses.
+BINARY_PROTOCOL_VERSION = 3
+
 FRAME_MAGIC = b"RW"
-#: Payload encodings; only JSON for now (the byte reserves room for binary).
+#: Payload encodings: bare JSON, or a JSON header + opaque binary segment.
 KIND_JSON = 0
+KIND_JSON_BINARY = 1
 FRAME_HEADER = struct.Struct(">2sBI")
+#: The kind-1 intra-payload prefix: length of the JSON header.
+BINARY_HEADER = struct.Struct(">I")
+
+#: Key under which a decoded frame carries its binary segment (and senders
+#: may attach one).  Underscored so it can never collide with a JSON field:
+#: the segment is framing, not part of the message.
+BINARY_KEY = "_binary"
+
+#: Message types whose JSON is encoded with sorted keys.  Handshake frames
+#: stay byte-deterministic (they get logged, diffed, and asserted on);
+#: hot-path route frames skip the sort -- it costs a per-key comparison pass
+#: on every frame and nothing reads route frames as raw bytes.  Protocol-2
+#: exchanges are the exception: the pre-multiplexing transport canonicalized
+#: *every* frame, so both sides pass ``canonical=True`` when the negotiated
+#: protocol predates :data:`BINARY_PROTOCOL_VERSION` -- a protocol-2
+#: conversation stays byte-identical to what the old implementation put on
+#: the wire.
+DETERMINISTIC_TYPES = frozenset({"hello", "hello_ack"})
 
 #: Frames larger than this are refused on both sides (a 16 MiB batch of
 #: routes is far beyond any real scatter wave; the cap bounds a corrupt or
@@ -103,23 +145,45 @@ class TransportTimeoutError(ClusterError):
 
 
 # -- encode --------------------------------------------------------------------
-def encode_frame(message: dict, *, max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
-    """Serialize one message dict into a framed byte string."""
+def encode_frame(message: dict, *, binary: bytes | None = None,
+                 canonical: bool = False,
+                 max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one message dict (plus an optional binary segment) into a
+    framed byte string.  A non-None ``binary`` produces a kind-1 frame; only
+    send those to peers that negotiated ``BINARY_PROTOCOL_VERSION``.
+    ``canonical=True`` sorts keys on every frame -- the legacy byte form
+    protocol-2 peers produced (see :data:`DETERMINISTIC_TYPES`)."""
     message_type = message.get("type")
     if message_type not in MESSAGE_TYPES:
         raise UnknownMessageError(f"cannot encode unknown message type {message_type!r}")
-    payload = json.dumps(message, sort_keys=True, separators=(",", ":")).encode("utf-8")
-    if len(payload) > max_frame_bytes:
+    if BINARY_KEY in message:
+        raise ProtocolError(f"message key {BINARY_KEY!r} is reserved for "
+                            "decoded binary segments; pass binary= instead")
+    header = json.dumps(message, separators=(",", ":"),
+                        sort_keys=canonical
+                        or message_type in DETERMINISTIC_TYPES).encode("utf-8")
+    if binary is None:
+        payload_length = len(header)
+        if payload_length > max_frame_bytes:
+            raise FrameTooLargeError(
+                f"{message_type} payload is {payload_length} bytes "
+                f"(cap {max_frame_bytes})")
+        return FRAME_HEADER.pack(FRAME_MAGIC, KIND_JSON, payload_length) + header
+    payload_length = BINARY_HEADER.size + len(header) + len(binary)
+    if payload_length > max_frame_bytes:
         raise FrameTooLargeError(
-            f"{message_type} payload is {len(payload)} bytes "
+            f"{message_type} payload is {payload_length} bytes "
             f"(cap {max_frame_bytes})")
-    return FRAME_HEADER.pack(FRAME_MAGIC, KIND_JSON, len(payload)) + payload
+    return b"".join((FRAME_HEADER.pack(FRAME_MAGIC, KIND_JSON_BINARY, payload_length),
+                     BINARY_HEADER.pack(len(header)), header, binary))
 
 
-def write_frame(stream: BinaryIO, message: dict,
-                *, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+def write_frame(stream: BinaryIO, message: dict, *, binary: bytes | None = None,
+                canonical: bool = False,
+                max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
     """Frame ``message`` onto ``stream`` and flush it."""
-    stream.write(encode_frame(message, max_frame_bytes=max_frame_bytes))
+    stream.write(encode_frame(message, binary=binary, canonical=canonical,
+                              max_frame_bytes=max_frame_bytes))
     stream.flush()
 
 
@@ -135,7 +199,7 @@ def validate_header(header: bytes, max_frame_bytes: int) -> tuple[int, int]:
     if magic != FRAME_MAGIC:
         raise ProtocolError(f"bad frame magic {magic!r} (stream is not the "
                             "cluster wire protocol)")
-    if kind != KIND_JSON:
+    if kind not in (KIND_JSON, KIND_JSON_BINARY):
         raise ProtocolError(f"unsupported payload kind {kind}")
     if length > max_frame_bytes:
         raise FrameTooLargeError(f"frame announces {length} payload bytes "
@@ -145,19 +209,39 @@ def validate_header(header: bytes, max_frame_bytes: int) -> tuple[int, int]:
 
 def decode_payload(header: bytes, payload: bytes,
                    *, max_frame_bytes: int = MAX_FRAME_BYTES) -> dict:
-    """Decode a frame given its full header + payload."""
-    _, length = validate_header(header, max_frame_bytes)
+    """Decode a frame given its full header + payload.
+
+    A kind-1 frame's binary segment is attached to the returned message
+    under :data:`BINARY_KEY`; a kind-0 frame never carries that key.
+    """
+    kind, length = validate_header(header, max_frame_bytes)
     if length != len(payload):
         raise TruncatedFrameError(f"frame announced {length} payload bytes but "
                                   f"carries {len(payload)}")
+    binary = None
+    if kind == KIND_JSON_BINARY:
+        if length < BINARY_HEADER.size:
+            raise TruncatedFrameError(
+                f"kind-1 frame of {length} bytes cannot hold its JSON-length "
+                f"prefix ({BINARY_HEADER.size} bytes)")
+        (json_length,) = BINARY_HEADER.unpack_from(payload)
+        if BINARY_HEADER.size + json_length > length:
+            raise TruncatedFrameError(
+                f"kind-1 frame announces a {json_length}-byte JSON header but "
+                f"only carries {length - BINARY_HEADER.size} payload bytes")
+        binary = payload[BINARY_HEADER.size + json_length:]
+        payload = payload[BINARY_HEADER.size:BINARY_HEADER.size + json_length]
     try:
-        message = json.loads(payload.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        # json.loads accepts UTF-8 bytes directly: no intermediate str copy.
+        message = json.loads(payload)
+    except (UnicodeDecodeError, ValueError) as error:
         raise ProtocolError(f"frame payload is not valid JSON: {error}") from error
     if not isinstance(message, dict):
         raise ProtocolError("frame payload must be a JSON object")
     if message.get("type") not in MESSAGE_TYPES:
         raise UnknownMessageError(f"unknown message type {message.get('type')!r}")
+    if binary is not None:
+        message[BINARY_KEY] = binary
     return message
 
 
@@ -208,6 +292,9 @@ class FrameReader:
         self._clock = clock
         self._buffer = b""
         self._eof = False
+        #: Total payload+header bytes consumed off the stream (transport
+        #: accounting: the dispatcher side surfaces bytes/route in stats).
+        self.bytes_read = 0
         os.set_blocking(self._fd, False)
         self._selector = selectors.DefaultSelector()
         self._selector.register(self._fd, selectors.EVENT_READ)
@@ -253,6 +340,7 @@ class FrameReader:
                 self._eof = True
                 continue
             self._buffer += chunk
+            self.bytes_read += len(chunk)
         data, self._buffer = self._buffer[:count], self._buffer[count:]
         return data
 
@@ -280,16 +368,22 @@ class FrameWriter:
         self._fd = stream.fileno()
         self._max_frame_bytes = max_frame_bytes
         self._clock = clock
+        #: Total frame bytes pushed onto the stream (transport accounting).
+        self.bytes_written = 0
         os.set_blocking(self._fd, False)
         self._selector = selectors.DefaultSelector()
         self._selector.register(self._fd, selectors.EVENT_WRITE)
 
-    def write(self, message: dict, timeout_seconds: float | None = None) -> None:
+    def write(self, message: dict, *, binary: bytes | None = None,
+              canonical: bool = False,
+              timeout_seconds: float | None = None) -> None:
         """Frame ``message`` onto the fd, raising
         :class:`TransportTimeoutError` when the peer does not drain it within
         ``timeout_seconds`` (the frame may then be half-sent -- callers are
         expected to kill the peer after a timeout)."""
-        data = encode_frame(message, max_frame_bytes=self._max_frame_bytes)
+        data = encode_frame(message, binary=binary, canonical=canonical,
+                            max_frame_bytes=self._max_frame_bytes)
+        self.bytes_written += len(data)
         deadline = None if timeout_seconds is None else self._clock() + timeout_seconds
         while data:
             if deadline is not None:
@@ -349,6 +443,159 @@ def route_lists_from_payload(payload: list[list[dict]]) -> list[list[SchemaRoute
                 for routes in payload]
     except (KeyError, TypeError, ValueError) as error:
         raise ProtocolError(f"malformed route payload: {error}") from error
+
+
+# The protocol-3 binary route form.  Scores travel as raw little-endian IEEE
+# 754 doubles (``np.tobytes`` / ``np.frombuffer`` round-trips every bit, the
+# same guarantee the hex floats bought) and identifier names travel once, in
+# an interned string table, with each route a short int32 index sequence --
+# no per-route dicts, no float formatting, no hex parsing.
+#
+# Segment layout (all little-endian, in this order)::
+#
+#     counts   : int32[questions]   routes per question
+#     scores   : float64[routes]    raw route scores
+#     seq_lens : int32[routes]      identifiers per route (1 + len(tables))
+#     tokens   : int32[total]       string-table indices: database, tables...
+#
+# The JSON side of the frame carries the descriptor: the three array lengths
+# plus the string table, so the segment size is fully determined before a
+# single byte of it is trusted.
+#
+# Segments at or below this many routes take a ``struct`` fast path on both
+# ends: ``struct.pack``/``unpack_from`` produce byte-identical little-endian
+# IEEE 754 output but skip numpy's fixed per-array overhead, which at the
+# typical reply size (a few dozen routes) costs more than the payload itself.
+# Larger segments amortize that overhead and go through numpy.
+SMALL_SEGMENT_ROUTES = 512
+
+
+def route_lists_to_binary(
+        route_lists: list[list[SchemaRoute]]) -> tuple[dict, bytes]:
+    """Per-question route lists -> ``(descriptor, binary segment)``."""
+    strings: list[str] = []
+    interned: dict[str, int] = {}
+
+    def intern(name: str) -> int:
+        slot = interned.get(name)
+        if slot is None:
+            slot = interned[name] = len(strings)
+            strings.append(name)
+        return slot
+
+    counts = []
+    scores = []
+    seq_lens = []
+    tokens = []
+    for routes in route_lists:
+        counts.append(len(routes))
+        for route in routes:
+            scores.append(route.score)
+            seq_lens.append(1 + len(route.tables))
+            tokens.append(intern(route.database))
+            tokens.extend(intern(table) for table in route.tables)
+    if len(scores) <= SMALL_SEGMENT_ROUTES:
+        segment = b"".join((
+            struct.pack(f"<{len(counts)}i", *counts),
+            struct.pack(f"<{len(scores)}d", *scores),
+            struct.pack(f"<{len(seq_lens)}i", *seq_lens),
+            struct.pack(f"<{len(tokens)}i", *tokens),
+        ))
+    else:
+        segment = b"".join((
+            np.asarray(counts, dtype="<i4").tobytes(),
+            np.asarray(scores, dtype="<f8").tobytes(),
+            np.asarray(seq_lens, dtype="<i4").tobytes(),
+            np.asarray(tokens, dtype="<i4").tobytes(),
+        ))
+    descriptor = {"questions": len(counts), "routes": len(scores),
+                  "tokens": len(tokens), "strings": strings}
+    return descriptor, segment
+
+
+def route_lists_from_binary(descriptor: dict,
+                            segment: bytes) -> list[list[SchemaRoute]]:
+    """Decode the binary route form; :class:`ProtocolError` on any mismatch
+    between the descriptor and the segment (sizes, counts, table indices)."""
+    try:
+        questions = int(descriptor["questions"])
+        routes = int(descriptor["routes"])
+        tokens = int(descriptor["tokens"])
+        strings = descriptor["strings"]
+    except (KeyError, TypeError, ValueError) as error:
+        raise ProtocolError(f"malformed binary route descriptor: {error}") from error
+    if not isinstance(strings, list) \
+            or min(questions, routes, tokens, 0) < 0:
+        raise ProtocolError("malformed binary route descriptor")
+    expected = 4 * questions + 8 * routes + 4 * routes + 4 * tokens
+    if len(segment) != expected:
+        raise ProtocolError(
+            f"binary route segment is {len(segment)} bytes, descriptor "
+            f"implies {expected}")
+    # Both branches end at the same plain-Python sequences: indexing numpy
+    # scalars is ~10x the cost of list indexing, and ``struct.unpack_from`` /
+    # ``.tolist()`` of a float64 buffer both yield the exact same 64-bit
+    # doubles (this loop is the decode hot path of every route_response
+    # frame).  Small segments skip numpy entirely -- its fixed per-array
+    # overhead dwarfs a few-dozen-route payload.
+    if routes <= SMALL_SEGMENT_ROUTES:
+        offset = 0
+        count_list = struct.unpack_from(f"<{questions}i", segment, offset)
+        offset += 4 * questions
+        score_list = struct.unpack_from(f"<{routes}d", segment, offset)
+        offset += 8 * routes
+        length_list = struct.unpack_from(f"<{routes}i", segment, offset)
+        offset += 4 * routes
+        token_list = struct.unpack_from(f"<{tokens}i", segment, offset)
+        if sum(count_list) != routes or (count_list and min(count_list) < 0):
+            raise ProtocolError("binary route counts do not sum to the route total")
+        if sum(length_list) != tokens or (length_list and min(length_list) < 1):
+            raise ProtocolError(
+                "binary route sequences do not sum to the token total")
+        if token_list and (min(token_list) < 0
+                           or max(token_list) >= len(strings)):
+            raise ProtocolError("binary route token outside the string table")
+    else:
+        offset = 0
+        counts = np.frombuffer(segment, dtype="<i4", count=questions, offset=offset)
+        offset += 4 * questions
+        scores = np.frombuffer(segment, dtype="<f8", count=routes, offset=offset)
+        offset += 8 * routes
+        seq_lens = np.frombuffer(segment, dtype="<i4", count=routes, offset=offset)
+        offset += 4 * routes
+        table_ids = np.frombuffer(segment, dtype="<i4", count=tokens, offset=offset)
+        if int(counts.sum()) != routes or (counts < 0).any():
+            raise ProtocolError("binary route counts do not sum to the route total")
+        if int(seq_lens.sum()) != tokens or (seq_lens < 1).any():
+            raise ProtocolError(
+                "binary route sequences do not sum to the token total")
+        if tokens and (int(table_ids.min()) < 0
+                       or int(table_ids.max()) >= len(strings)):
+            raise ProtocolError("binary route token outside the string table")
+        count_list = counts.tolist()
+        score_list = scores.tolist()
+        length_list = seq_lens.tolist()
+        token_list = table_ids.tolist()
+    try:
+        names = [str(name) for name in strings]
+    except ValueError as error:  # pragma: no cover - str() rarely fails
+        raise ProtocolError(f"malformed string table: {error}") from error
+    route_lists: list[list[SchemaRoute]] = []
+    cursor = 0
+    token_cursor = 0
+    for count in count_list:
+        decoded = []
+        for index in range(cursor, cursor + count):
+            length = length_list[index]
+            sequence = token_list[token_cursor:token_cursor + length]
+            token_cursor += length
+            decoded.append(SchemaRoute(
+                database=names[sequence[0]],
+                tables=tuple(names[token] for token in sequence[1:]),
+                score=score_list[index]))
+        cursor += count
+        route_lists.append(decoded)
+    return route_lists
 
 
 def error_message(request_id: object, error: BaseException) -> dict:

@@ -100,7 +100,11 @@ class HealthPolicy:
     timeout_rate_failing: float = 0.25
     escalation_rate_ceiling: float = 0.75
     #: A subprocess worker that has not answered anything for this long is
-    #: presumed wedged (the probe pings it first if it is idle).
+    #: presumed wedged; the probe re-checks with one out-of-band ping before
+    #: judging.  The multiplexed transport answers pings on the child's
+    #: reader thread, so the check is a real liveness signal even while
+    #: route requests are in flight (the pre-multiplexing transport had to
+    #: assume a busy worker was working).
     heartbeat_max_age_seconds: float = 60.0
     #: Respawn velocity: more than ``max_respawns_in_window`` fresh boots
     #: inside ``respawn_window_seconds`` is a crash loop, not recovery.

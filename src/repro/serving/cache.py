@@ -19,7 +19,8 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable
+from functools import lru_cache
+from typing import Callable, Sequence
 
 from repro.utils.text import tokenize_text
 
@@ -31,8 +32,14 @@ class _Entry:
     version: int
 
 
+@lru_cache(maxsize=8192)
 def normalize_question(question: str) -> str:
-    """Canonical cache key: the question's word tokens joined by single spaces."""
+    """Canonical cache key: the question's word tokens joined by single spaces.
+
+    Memoized on the exact input text: served traffic repeats question strings
+    (that is why the route cache exists), and re-tokenizing on every lookup
+    costs more than the cache probe itself.
+    """
     return " ".join(tokenize_text(question))
 
 
@@ -87,6 +94,42 @@ class RouteCache:
             self._entries.move_to_end(key)
             self.hits += 1
             return entry.value
+
+    def get_many(self, questions: Sequence[str],
+                 variant: object = None) -> list[object | None]:
+        """Batched :meth:`get`: one lock acquisition for a whole wave.
+
+        Returns one entry per question (``None`` on miss), with identical
+        hit/miss/TTL/version accounting to per-question ``get`` calls.  On a
+        cache-hot wave the per-question lock handshake costs more than the
+        lookups themselves, which matters to shard workers whose every
+        scatter frame begins with a wave of cache probes.
+        """
+        keys = [self._key(question, variant) for question in questions]
+        now = self._clock() if self.ttl_seconds is not None else None
+        values: list[object | None] = []
+        with self._lock:
+            for key in keys:
+                entry = self._entries.get(key)
+                if entry is None:
+                    self.misses += 1
+                    values.append(None)
+                elif entry.version != self._version:
+                    del self._entries[key]
+                    self.invalidations += 1
+                    self.misses += 1
+                    values.append(None)
+                elif entry.expires_at is not None and now is not None \
+                        and now >= entry.expires_at:
+                    del self._entries[key]
+                    self.expirations += 1
+                    self.misses += 1
+                    values.append(None)
+                else:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    values.append(entry.value)
+        return values
 
     def put(self, question: str, routes: object, variant: object = None) -> None:
         key = self._key(question, variant)

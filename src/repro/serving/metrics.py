@@ -42,14 +42,22 @@ class LatencyRecorder:
         self._max_seconds = 0.0
         self._bucket_counts = [0] * (len(BUCKET_BOUNDS) + 1)  # last = +Inf
 
-    def record(self, seconds: float) -> None:
+    def record(self, seconds: float, count: int = 1) -> None:
+        """Record ``seconds`` once -- or ``count`` times under one lock
+        acquisition, for callers attributing one wave's per-item latency to
+        every item in the wave."""
+        if count < 1:
+            return
         with self._lock:
-            self._samples.append(seconds)
-            self._count += 1
-            self._total_seconds += seconds
+            if count == 1:
+                self._samples.append(seconds)
+            else:
+                self._samples.extend([seconds] * count)
+            self._count += count
+            self._total_seconds += seconds * count
             if seconds > self._max_seconds:
                 self._max_seconds = seconds
-            self._bucket_counts[bisect.bisect_left(BUCKET_BOUNDS, seconds)] += 1
+            self._bucket_counts[bisect.bisect_left(BUCKET_BOUNDS, seconds)] += count
 
     # -- locked accessors ----------------------------------------------------
     @property
@@ -202,8 +210,8 @@ class MetricsRegistry:
         while buckets and buckets[0][0] <= cutoff:
             buckets.popleft()
 
-    def observe_latency(self, seconds: float) -> None:
-        self.latency.record(seconds)
+    def observe_latency(self, seconds: float, count: int = 1) -> None:
+        self.latency.record(seconds, count)
 
     def observe_stage(self, name: str, seconds: float) -> None:
         """Record one duration against a named pipeline stage.

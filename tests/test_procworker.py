@@ -23,7 +23,9 @@ core contracts:
 from __future__ import annotations
 
 import os
+import random
 import threading
+import time
 
 import pytest
 
@@ -39,11 +41,14 @@ from repro.cluster import (
     load_cluster,
     save_cluster,
 )
-from repro.cluster.procworker import serve
+from repro.cluster.procworker import SLOW_CAREFUL_ENV, serve
 from repro.cluster.transport import (
+    BINARY_KEY,
     PROTOCOL_VERSION,
     check_protocol,
     read_frame,
+    route_lists_from_binary,
+    route_lists_from_payload,
     write_frame,
 )
 from repro.core import (
@@ -91,6 +96,22 @@ def _shard_dir(cluster_checkpoint, shard_id: int = 0):
 def _signature(route_lists):
     return [[(route.database, route.tables, route.score) for route in routes]
             for routes in route_lists]
+
+
+def _reply_routes(reply):
+    """Decode a ``route_response`` in either wire form (binary or JSON)."""
+    if "routes_binary" in reply:
+        return route_lists_from_binary(reply["routes_binary"], reply[BINARY_KEY])
+    return route_lists_from_payload(reply["routes"])
+
+
+def _wait_until(predicate, timeout_seconds: float = 10.0) -> bool:
+    deadline = time.monotonic() + timeout_seconds
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
 
 
 # -- one worker over the wire --------------------------------------------------
@@ -231,19 +252,28 @@ class TestServeLoop:
                 os.fdopen(from_worker_read, "rb", buffering=0),
                 os.fdopen(from_worker_write, "wb", buffering=0))
 
-    def _start(self, cluster_checkpoint):
+    def _start(self, cluster_checkpoint, protocol: int = PROTOCOL_VERSION,
+               escalation_num_beams: int | None = None, **serve_kwargs):
         worker = ShardWorker.from_checkpoint(
             0, _shard_dir(cluster_checkpoint),
-            serving_config=ServingConfig(enable_batching=False))
+            serving_config=ServingConfig(enable_batching=False),
+            escalation_num_beams=escalation_num_beams)
         worker_in, to_worker, from_worker, worker_out = self._pipes()
         thread = threading.Thread(target=serve, args=(worker, worker_in, worker_out),
-                                  daemon=True)
+                                  kwargs=serve_kwargs, daemon=True)
         thread.start()
         hello = read_frame(from_worker)
         assert hello["type"] == "hello"
         check_protocol(hello)
-        write_frame(to_worker, {"type": "hello_ack", "protocol": PROTOCOL_VERSION})
+        write_frame(to_worker, {"type": "hello_ack", "protocol": protocol})
         return worker, thread, to_worker, from_worker
+
+    def _stop(self, worker, thread, to_worker, from_worker):
+        write_frame(to_worker, {"type": "shutdown", "id": 99})
+        assert read_frame(from_worker)["type"] == "shutdown_ack"
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        worker.close()
 
     def test_request_scoped_errors_keep_the_worker_serving(self, cluster_checkpoint):
         worker, thread, to_worker, from_worker = self._start(cluster_checkpoint)
@@ -262,13 +292,9 @@ class TestServeLoop:
                                     "questions": [QUESTIONS[0]]})
             reply = read_frame(from_worker)
             assert reply["type"] == "route_response" and reply["id"] == 3
-            assert len(reply["routes"]) == 1
+            assert len(_reply_routes(reply)) == 1
         finally:
-            write_frame(to_worker, {"type": "shutdown", "id": 99})
-            assert read_frame(from_worker)["type"] == "shutdown_ack"
-            thread.join(timeout=10.0)
-            assert not thread.is_alive()
-            worker.close()
+            self._stop(worker, thread, to_worker, from_worker)
 
     def test_closing_the_pipe_shuts_the_worker_down(self, cluster_checkpoint):
         worker, thread, to_worker, from_worker = self._start(cluster_checkpoint)
@@ -280,19 +306,89 @@ class TestServeLoop:
 
     def test_traceless_requests_get_exactly_the_old_reply_shape(self, cluster_checkpoint):
         """A protocol-1 dispatcher never sends the ``trace`` field; the reply
-        it gets back must not grow a ``spans`` key it cannot know about."""
-        worker, thread, to_worker, from_worker = self._start(cluster_checkpoint)
+        it gets back must not grow a ``spans`` key (or a binary segment) it
+        cannot know about."""
+        worker, thread, to_worker, from_worker = self._start(cluster_checkpoint,
+                                                             protocol=1)
         try:
             write_frame(to_worker, {"type": "route_batch_request", "id": 1,
                                     "questions": [QUESTIONS[0]]})
             reply = read_frame(from_worker)
             assert reply["type"] == "route_response" and reply["id"] == 1
             assert "spans" not in reply
+            assert "routes_binary" not in reply and BINARY_KEY not in reply
+            assert len(reply["routes"]) == 1  # plain hex-float JSON payload
         finally:
-            write_frame(to_worker, {"type": "shutdown", "id": 99})
-            assert read_frame(from_worker)["type"] == "shutdown_ack"
-            thread.join(timeout=10.0)
-            worker.close()
+            self._stop(worker, thread, to_worker, from_worker)
+
+    def test_binary_payloads_match_protocol_2_json_bit_exactly(self, cluster_checkpoint):
+        """The v3 binary segment is an *encoding*, not a different answer:
+        decoding it must reproduce the protocol-2 hex-float JSON routes
+        bit-for-bit from the same worker checkpoint."""
+        v3 = self._start(cluster_checkpoint)
+        v2 = self._start(cluster_checkpoint, protocol=2)
+        try:
+            request = {"type": "route_batch_request", "id": 1,
+                       "questions": list(QUESTIONS[:3]), "max_candidates": 3}
+            write_frame(v3[2], dict(request))
+            write_frame(v2[2], dict(request))
+            reply3 = read_frame(v3[3])
+            reply2 = read_frame(v2[3])
+            assert "routes_binary" in reply3 and BINARY_KEY in reply3
+            assert isinstance(reply3[BINARY_KEY], bytes)
+            assert "routes" in reply2 and BINARY_KEY not in reply2
+            assert _signature(_reply_routes(reply3)) \
+                == _signature(_reply_routes(reply2))
+        finally:
+            self._stop(*v3)
+            self._stop(*v2)
+
+    def test_responses_demux_out_of_order_by_correlation_id(self, cluster_checkpoint):
+        """Multiplexing at the serve loop: a slow careful frame sent FIRST
+        must not block the fast frames pipelined behind it -- replies come
+        back in completion order and the correlation ids pair them up."""
+        worker, thread, to_worker, from_worker = self._start(
+            cluster_checkpoint, escalation_num_beams=4,
+            slow_careful_seconds=1.0)
+        try:
+            rng = random.Random(7)
+            for _ in range(2):
+                ids = rng.sample(range(10, 100), 5)
+                careful_id, fast_ids = ids[0], ids[1:]
+                write_frame(to_worker, {"type": "route_batch_request",
+                                        "id": careful_id, "careful": True,
+                                        "questions": [QUESTIONS[0]]})
+                for fast_id in fast_ids:
+                    write_frame(to_worker, {
+                        "type": "route_batch_request", "id": fast_id,
+                        "questions": [QUESTIONS[fast_id % len(QUESTIONS)]]})
+                replies = [read_frame(from_worker) for _ in ids]
+                assert all(reply["type"] == "route_response" for reply in replies)
+                # every id answered exactly once, whatever the arrival order
+                assert sorted(reply["id"] for reply in replies) == sorted(ids)
+                assert all(len(_reply_routes(reply)) == 1 for reply in replies)
+                # the slow careful frame went out first but answers last:
+                # responses genuinely overtake each other on the pipe
+                assert replies[-1]["id"] == careful_id
+        finally:
+            self._stop(worker, thread, to_worker, from_worker)
+
+    def test_shutdown_drains_in_flight_decodes_first(self, cluster_checkpoint):
+        """Graceful drain: a shutdown pipelined behind a slow request must
+        let the in-flight decode answer before the ack."""
+        worker, thread, to_worker, from_worker = self._start(
+            cluster_checkpoint, escalation_num_beams=4,
+            slow_careful_seconds=0.5)
+        write_frame(to_worker, {"type": "route_batch_request", "id": 5,
+                                "careful": True, "questions": [QUESTIONS[0]]})
+        write_frame(to_worker, {"type": "shutdown", "id": 9})
+        first = read_frame(from_worker)
+        assert first["type"] == "route_response" and first["id"] == 5
+        ack = read_frame(from_worker)
+        assert ack["type"] == "shutdown_ack" and ack["id"] == 9
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        worker.close()
 
     def test_trace_field_comes_back_as_adopted_spans(self, cluster_checkpoint):
         """The child-side wire contract: a ``trace`` payload on the request
@@ -322,6 +418,176 @@ class TestServeLoop:
             assert read_frame(from_worker)["type"] == "shutdown_ack"
             thread.join(timeout=10.0)
             worker.close()
+
+
+# -- the multiplexing client, end to end ----------------------------------------
+class TestMultiplexedTransport:
+    def test_careful_escalation_overlaps_fast_tier(self, cluster_checkpoint,
+                                                   monkeypatch):
+        """The acceptance path for pipelining: with a careful request wedged
+        in the worker (injected 2s stall), fast requests on the SAME worker
+        still answer -- the wire carries both frames concurrently instead of
+        queueing the fast tier behind the slow one."""
+        monkeypatch.setenv(SLOW_CAREFUL_ENV, "2.0")
+        with ProcShardWorker(0, _shard_dir(cluster_checkpoint),
+                             escalation_num_beams=4) as worker:
+            careful_routes = []
+
+            def run_careful():
+                careful_routes.append(
+                    worker.route_batch([QUESTIONS[0]], careful=True))
+
+            thread = threading.Thread(target=run_careful, daemon=True)
+            started = time.monotonic()
+            thread.start()
+            assert _wait_until(lambda: worker.in_flight >= 1)
+            fast = worker.route_batch(list(QUESTIONS[:2]))
+            fast_elapsed = time.monotonic() - started
+            # the fast wave finished while the careful frame was still in
+            # flight: wall-clock proof the tiers overlapped on one worker
+            assert thread.is_alive()
+            assert fast_elapsed < 2.0
+            assert len(fast) == 2 and all(fast)
+            thread.join(timeout=30.0)
+            assert not thread.is_alive() and careful_routes[0][0]
+            stats = worker.transport_stats()
+            assert stats["max_in_flight"] >= 2
+            assert stats["pipelined_frames"] >= 1
+            assert stats["binary_responses"] >= 2
+
+    def test_ping_and_health_answer_out_of_band_while_busy(self, cluster_checkpoint,
+                                                           monkeypatch):
+        """PR-7's health probe had to assume a lock-busy worker was working;
+        now the probe's ping is answered on the child's reader thread even
+        with a decode wedged, so 'busy' and 'alive' are separable."""
+        from repro.obs.health import HealthPolicy
+
+        monkeypatch.setenv(SLOW_CAREFUL_ENV, "3.0")
+        with ProcShardWorker(0, _shard_dir(cluster_checkpoint),
+                             escalation_num_beams=4) as worker:
+            worker.ping()  # establish a heartbeat before wedging the worker
+            thread = threading.Thread(
+                target=lambda: worker.route_batch([QUESTIONS[0]], careful=True),
+                daemon=True)
+            thread.start()
+            assert _wait_until(lambda: worker.in_flight >= 1)
+            assert worker.ping() < 1.0  # out-of-band: not behind the stall
+            # force the stale-heartbeat branch: the probe must re-check with
+            # a real ping instead of assuming, and report what it measured
+            report = worker.health(HealthPolicy(heartbeat_max_age_seconds=0.0))
+            assert report.status == "ok"
+            assert report.details["in_flight"] >= 1
+            assert report.details["heartbeat_check"].startswith("ping answered")
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+
+    def test_crash_mid_wave_fails_all_in_flight_then_respawns_clean(
+            self, cluster_checkpoint, monkeypatch):
+        monkeypatch.setenv(SLOW_CAREFUL_ENV, "5.0")
+        with ProcShardWorker(0, _shard_dir(cluster_checkpoint),
+                             escalation_num_beams=4) as worker:
+            errors = []
+
+            def run_careful():
+                try:
+                    worker.route_batch([QUESTIONS[0]], careful=True)
+                except Exception as error:  # noqa: BLE001 - collected for asserts
+                    errors.append(error)
+
+            threads = [threading.Thread(target=run_careful, daemon=True)
+                       for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            assert _wait_until(lambda: worker.in_flight >= 3)
+            worker.crash()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            assert not any(thread.is_alive() for thread in threads)
+            # every in-flight frame failed loudly -- none hung, none vanished
+            assert len(errors) == 3
+            assert all(isinstance(error, WorkerCrashedError) for error in errors)
+            assert worker.crashes == 1
+            assert worker.in_flight == 0
+            # the respawned child must not inherit the stall
+            monkeypatch.delenv(SLOW_CAREFUL_ENV)
+            again = worker.route_batch(list(QUESTIONS[:2]))
+            assert len(again) == 2 and worker.respawns == 1
+
+    def test_timeout_mid_wave_kills_the_worker_and_fails_peers(
+            self, cluster_checkpoint, monkeypatch):
+        monkeypatch.setenv(SLOW_CAREFUL_ENV, "5.0")
+        with ProcShardWorker(0, _shard_dir(cluster_checkpoint),
+                             escalation_num_beams=4,
+                             request_timeout_seconds=0.5) as worker:
+            victim = worker.process
+            errors = []
+
+            def run_careful():
+                try:
+                    worker.route_batch([QUESTIONS[0]], careful=True)
+                except Exception as error:  # noqa: BLE001 - collected for asserts
+                    errors.append(error)
+
+            threads = [threading.Thread(target=run_careful, daemon=True)
+                       for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            assert not any(thread.is_alive() for thread in threads)
+            # the first deadline to fire kills the wedged process; its peers
+            # fail as either their own timeout or the induced crash -- but
+            # every one of them fails, and the kill is counted
+            assert len(errors) == 3
+            assert all(isinstance(error, (ShardTimeoutError, WorkerCrashedError))
+                       for error in errors)
+            assert any(isinstance(error, ShardTimeoutError) for error in errors)
+            assert worker.timeouts >= 1
+            assert victim.poll() is not None
+            monkeypatch.delenv(SLOW_CAREFUL_ENV)
+            worker.request_timeout_seconds = None
+            assert len(worker.route_batch([QUESTIONS[0]])) == 1
+            assert worker.respawns >= 1
+
+    def test_protocol_2_peer_answers_bit_identically(self, cluster_checkpoint):
+        """Interop: capping the handshake at protocol 2 makes the same child
+        binary speak the old hex-float JSON frames -- and the answers must be
+        bit-identical to the v3 binary path on both tiers."""
+        questions = list(QUESTIONS[:6])
+        with ProcShardWorker(0, _shard_dir(cluster_checkpoint),
+                             escalation_num_beams=4) as v3, \
+                ProcShardWorker(0, _shard_dir(cluster_checkpoint),
+                                escalation_num_beams=4, protocol_cap=2) as v2:
+            assert v3.peer_protocol == PROTOCOL_VERSION
+            assert v2.peer_protocol == 2
+            assert _signature(v2.route_batch(questions, max_candidates=3)) \
+                == _signature(v3.route_batch(questions, max_candidates=3))
+            assert _signature(v2.route_batch(questions, careful=True)) \
+                == _signature(v3.route_batch(questions, careful=True))
+            assert v3.transport_stats()["binary_responses"] >= 2
+            v2_stats = v2.transport_stats()
+            assert v2_stats["protocol"] == 2
+            assert v2_stats["binary_responses"] == 0
+
+    def test_serial_twin_keeps_one_frame_in_flight(self, cluster_checkpoint):
+        """``pipeline=False`` is the pre-multiplexing discipline: concurrent
+        callers serialize at the gate, so the wire never carries more than
+        one frame -- the faithful baseline the bench compares against."""
+        with ProcShardWorker(0, _shard_dir(cluster_checkpoint),
+                             pipeline=False, protocol_cap=2) as worker:
+            threads = [threading.Thread(
+                target=lambda index=index: worker.route_batch(
+                    [QUESTIONS[index % len(QUESTIONS)]]),
+                daemon=True) for index in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            assert not any(thread.is_alive() for thread in threads)
+            stats = worker.transport_stats()
+            assert stats["pipelined"] is False
+            assert stats["max_in_flight"] == 1
+            assert stats["pipelined_frames"] == 0
 
 
 # -- tracing across the process boundary ---------------------------------------
@@ -366,6 +632,10 @@ class TestTracingOverTheWire:
                 == {root["span_id"], escalation["span_id"]}
             scatter_ids = {span["span_id"] for span in by_name["scatter"]}
             assert all(span["parent_id"] in scatter_ids
+                       for span in by_name["wire"])
+            # every wire span reports how deep its worker's pipeline was when
+            # the frame went out (>= 1: at least this request was in flight)
+            assert all(span["attributes"]["in_flight"] >= 1
                        for span in by_name["wire"])
 
             # the workers' spans crossed the wire: remote, rebased, and
@@ -477,6 +747,14 @@ class TestSubprocessCluster:
                           for shard in stats["shards"] for worker in shard["workers"]]
             assert all(t["alive"] for t in transports)
             assert len({t["pid"] for t in transports}) == len(transports)
+            # the cluster-level rollup aggregates every worker's transport
+            rollup = stats["transport"]
+            assert rollup["workers"] == len(transports)
+            # one batched scatter frame per worker (plus the stats poll)
+            assert rollup["requests_sent"] >= len(transports)
+            assert rollup["binary_responses"] >= len(transports)
+            assert rollup["bytes_sent"] > 0 and rollup["bytes_received"] > 0
+            assert rollup["crashes"] == 0 and rollup["timeouts"] == 0
         finally:
             inproc.close()
             sub.close()
@@ -521,6 +799,31 @@ class TestSubprocessCluster:
         finally:
             service.close()
         assert not owned.exists()  # the temp checkpoint is cleaned up
+
+    def test_pipelined_transport_off_is_a_faithful_protocol_2_cluster(
+            self, cluster_checkpoint):
+        """``pipelined_transport=False`` boots the serial twin fleet: every
+        worker handshakes at protocol 2 (hex-float JSON, one frame in
+        flight) and still answers bit-identically to the pipelined fleet."""
+        serial = load_cluster(cluster_checkpoint, config=ClusterConfig(
+            worker_backend="subprocess", pipelined_transport=False))
+        pipelined = load_cluster(cluster_checkpoint,
+                                 config=ClusterConfig(worker_backend="subprocess"))
+        try:
+            questions = list(QUESTIONS[:6])
+            assert _signature(serial.submit_many(questions)) \
+                == _signature(pipelined.submit_many(questions))
+            stats = serial.stats()
+            transports = [worker["transport"]
+                          for shard in stats["shards"]
+                          for worker in shard["workers"]]
+            assert all(t["protocol"] == 2 for t in transports)
+            assert all(t["pipelined"] is False for t in transports)
+            assert stats["transport"]["binary_responses"] == 0
+            assert stats["transport"]["max_in_flight"] <= 1
+        finally:
+            serial.close()
+            pipelined.close()
 
     def test_shard_timeouts_are_counted(self, cluster_checkpoint):
         from repro.cluster import ClusterError

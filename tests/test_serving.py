@@ -246,6 +246,32 @@ class TestRouteCache:
         assert stats["hit_rate"] == pytest.approx(0.5)
         assert len(cache) == 1 and cache.keys() == ["a b"]
 
+    def test_get_many_matches_per_question_gets(self):
+        """The batched probe returns the same values, with the same hit/miss
+        and TTL accounting, as one ``get`` per question."""
+        now = [0.0]
+        cache = RouteCache(max_size=8, ttl_seconds=10.0, clock=lambda: now[0])
+        cache.put("alpha question", "a")
+        cache.put("beta question", "b")
+        cache.put("stale question", "old")
+        now[0] = 10.5  # "stale question" is past its TTL; re-insert the rest
+        cache.put("alpha question", "a")
+        cache.put("beta question", "b")
+        values = cache.get_many(["alpha question", "missing question",
+                                 "stale question", "beta question",
+                                 "ALPHA   Question"])
+        assert values == ["a", None, None, "b", "a"]
+        assert cache.hits == 3 and cache.misses == 2
+        assert cache.expirations == 1
+        # LRU order was refreshed by the batched probe, like get() would
+        assert cache.keys()[-1] == normalize_question("ALPHA Question")
+
+    def test_get_many_respects_the_variant_qualifier(self):
+        cache = RouteCache(max_size=4)
+        cache.put("question", "top1", variant=1)
+        assert cache.get_many(["question"], variant=1) == ["top1"]
+        assert cache.get_many(["question"], variant=5) == [None]
+
 
 # -- micro-batcher -------------------------------------------------------------
 class TestMicroBatcher:

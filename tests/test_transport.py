@@ -18,6 +18,8 @@ import time
 import pytest
 
 from repro.cluster.transport import (
+    BINARY_HEADER,
+    BINARY_KEY,
     FRAME_HEADER,
     FRAME_MAGIC,
     MAX_FRAME_BYTES,
@@ -37,7 +39,9 @@ from repro.cluster.transport import (
     error_message,
     hello_message,
     read_frame,
+    route_lists_from_binary,
     route_lists_from_payload,
+    route_lists_to_binary,
     route_lists_to_payload,
     write_frame,
 )
@@ -241,6 +245,159 @@ class TestRoutePayloads:
         with pytest.raises(ProtocolError):
             route_lists_from_payload([[{"database": "db", "tables": ["t"],
                                         "score_hex": "not-a-float"}]])
+
+
+# -- binary route payloads (protocol 3) ----------------------------------------
+class TestBinaryRoutePayloads:
+    def _route_lists(self):
+        scores = TestRoutePayloads.AWKWARD_SCORES
+        return [
+            [SchemaRoute("concert_hall", ("stadium", "singer"), scores[0]),
+             SchemaRoute("world_atlas", ("city",), scores[1])],
+            [],  # a question with no routes still takes a slot
+            [SchemaRoute("concert_hall", (), scores[index])
+             for index in range(2, len(scores))],
+        ]
+
+    def test_binary_segment_round_trips_bit_exactly(self):
+        route_lists = self._route_lists()
+        descriptor, segment = route_lists_to_binary(route_lists)
+        # the descriptor is plain JSON; the segment is raw bytes
+        descriptor = json.loads(json.dumps(descriptor))
+        restored = route_lists_from_binary(descriptor, segment)
+        assert restored == route_lists
+        for routes, back in zip(route_lists, restored):
+            for original, decoded in zip(routes, back):
+                assert decoded.score.hex() == original.score.hex()
+
+    def test_binary_form_agrees_with_the_json_form(self):
+        route_lists = self._route_lists()
+        descriptor, segment = route_lists_to_binary(route_lists)
+        via_json = route_lists_from_payload(
+            json.loads(json.dumps(route_lists_to_payload(route_lists))))
+        assert route_lists_from_binary(descriptor, segment) == via_json
+
+    def test_string_table_is_interned(self):
+        descriptor, _ = route_lists_to_binary(self._route_lists())
+        strings = descriptor["strings"]
+        assert len(strings) == len(set(strings))  # each name stored once
+        assert set(strings) == {"concert_hall", "stadium", "singer",
+                                "world_atlas", "city"}
+
+    def test_binary_frame_round_trips(self):
+        descriptor, segment = route_lists_to_binary(self._route_lists())
+        message = {"type": "route_response", "id": 9,
+                   "routes_binary": descriptor}
+        frame = encode_frame(message, binary=segment)
+        back = _read_back(frame)
+        assert back.pop(BINARY_KEY) == segment
+        assert back == message
+        assert route_lists_from_binary(back["routes_binary"], segment) \
+            == self._route_lists()
+
+    def test_binary_key_is_reserved_on_encode(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"type": "route_response", "id": 1, BINARY_KEY: b"x"})
+
+    def test_every_prefix_of_a_binary_frame_fails_loudly_or_cleanly(self):
+        """The kind-1 truncation sweep: cutting a binary frame anywhere --
+        header, JSON sub-header, or mid-segment -- must read as clean EOF
+        (empty) or raise, never hand back a short segment as complete."""
+        descriptor, segment = route_lists_to_binary(self._route_lists())
+        frame = encode_frame({"type": "route_response", "id": 5,
+                              "routes_binary": descriptor}, binary=segment)
+        for cut in range(len(frame)):
+            prefix = frame[:cut]
+            if cut == 0:
+                assert _read_back(prefix) is None
+            else:
+                with pytest.raises(ProtocolError):
+                    _read_back(prefix)
+        restored = _read_back(frame)
+        assert restored[BINARY_KEY] == segment
+
+    def test_lying_json_length_raises(self):
+        """A kind-1 frame whose JSON sub-header length overruns the payload
+        is truncation, not an index error."""
+        payload = json.dumps({"type": "ping", "id": 1}).encode()
+        body = BINARY_HEADER.pack(len(payload) + 50) + payload
+        frame = FRAME_HEADER.pack(FRAME_MAGIC, 1, len(body)) + body
+        with pytest.raises(TruncatedFrameError):
+            _read_back(frame)
+
+    def test_large_segments_take_the_vectorized_path_bit_exactly(self):
+        """Above SMALL_SEGMENT_ROUTES the codec switches from struct to the
+        vectorized encoder; the large path must round-trip bit-exactly too
+        (every other test in this class fits in the struct path)."""
+        from repro.cluster.transport import SMALL_SEGMENT_ROUTES
+
+        scores = TestRoutePayloads.AWKWARD_SCORES
+        routes_per_list = SMALL_SEGMENT_ROUTES // 4 + 1
+        route_lists = [
+            [SchemaRoute(f"db_{index}_{slot}", (f"t{slot}",),
+                         scores[(index * 31 + slot) % len(scores)])
+             for slot in range(routes_per_list)]
+            for index in range(5)
+        ]
+        total_routes = sum(len(routes) for routes in route_lists)
+        assert total_routes > SMALL_SEGMENT_ROUTES  # really the large path
+        descriptor, segment = route_lists_to_binary(route_lists)
+        assert descriptor["routes"] == total_routes
+        restored = route_lists_from_binary(
+            json.loads(json.dumps(descriptor)), segment)
+        assert restored == route_lists
+        for routes, back in zip(route_lists, restored):
+            for original, decoded in zip(routes, back):
+                assert decoded.score.hex() == original.score.hex()
+
+    def test_segment_descriptor_mismatches_raise(self):
+        descriptor, segment = route_lists_to_binary(self._route_lists())
+        with pytest.raises(ProtocolError):  # short segment
+            route_lists_from_binary(descriptor, segment[:-1])
+        with pytest.raises(ProtocolError):  # long segment
+            route_lists_from_binary(descriptor, segment + b"\x00")
+        with pytest.raises(ProtocolError):  # missing fields
+            route_lists_from_binary({"questions": 1}, b"")
+        lying = dict(descriptor, routes=descriptor["routes"] + 1)
+        with pytest.raises(ProtocolError):
+            route_lists_from_binary(lying, segment)
+        # a token index outside the string table must be caught, not crash
+        no_strings = dict(descriptor, strings=[])
+        with pytest.raises(ProtocolError):
+            route_lists_from_binary(no_strings, segment)
+
+
+class TestHotPathEncoding:
+    def test_handshake_frames_are_deterministic(self):
+        """hello / hello_ack keep sorted keys: they are compared and logged
+        byte-for-byte across versions."""
+        message = {"type": "hello", "protocol": PROTOCOL_VERSION, "shard_id": 1,
+                   "databases": ["a"], "pid": 7}
+        shuffled = {key: message[key]
+                    for key in reversed(list(message))}
+        assert encode_frame(message) == encode_frame(shuffled)
+
+    def test_hot_path_frames_skip_key_sorting(self):
+        """Request/response frames are NOT canonicalized: the encoder keeps
+        insertion order (cheaper), and the reader accepts both shapes."""
+        message = {"type": "route_batch_request", "id": 1, "questions": ["q"],
+                   "careful": False}
+        reordered = {key: message[key] for key in reversed(list(message))}
+        assert encode_frame(message) != encode_frame(reordered)
+        assert _read_back(encode_frame(message)) \
+            == _read_back(encode_frame(reordered))
+
+    def test_canonical_encoding_restores_the_protocol_2_bytes(self):
+        """``canonical=True`` reproduces the pre-multiplexing wire exactly:
+        sorted keys regardless of insertion order, so frames sent to a
+        protocol-2 peer are byte-identical to what the old transport sent."""
+        message = {"type": "route_batch_request", "id": 1, "questions": ["q"],
+                   "careful": False}
+        reordered = {key: message[key] for key in reversed(list(message))}
+        canonical = encode_frame(message, canonical=True)
+        assert canonical == encode_frame(reordered, canonical=True)
+        assert canonical == encode_frame(dict(sorted(message.items())))
+        assert _read_back(canonical) == message
 
 
 # -- the deadline-capable reader ----------------------------------------------
